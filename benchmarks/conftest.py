@@ -1,0 +1,48 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints it.  ``REPRO_BENCH_SCALE`` (default 0.4) rescales corpus sizes:
+1.0 corresponds to roughly 1/1000 of the paper's corpora (see
+DESIGN.md); smaller values trade fidelity for speed.
+``REPRO_BENCH_SEED`` (default 1) seeds everything.
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+
+
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def seed() -> int:
+    return bench_seed()
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print a regenerated table so it reaches the terminal (and any
+    tee'd log) even without ``-s`` — the tables ARE the benchmark's
+    product, not debug noise."""
+
+    def _report(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text)
+
+    return _report

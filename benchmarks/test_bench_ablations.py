@@ -1,0 +1,24 @@
+"""Benchmark: ablations of the pipeline's design decisions."""
+
+from conftest import run_once
+
+from repro.experiments.ablations import render_ablations, run_all_ablations
+
+
+def test_bench_ablations(benchmark, scale, seed, report):
+    results = run_once(
+        benchmark, lambda: run_all_ablations(scale=scale, seed=seed)
+    )
+    report(render_ablations(results))
+    by_name = {r.name: r for r in results}
+
+    # order-1 is sufficient: order-2 adds little (paper §4.3)
+    assert by_name["itemset order (weak labels)"].ratio > 0.85
+    # the generative model should not lose to majority vote
+    assert by_name["label aggregation (weak labels)"].ratio > 0.9
+    # streaming is a usable approximation of exact propagation
+    assert by_name["propagation solver (weak labels)"].ratio > 0.8
+    # human seed labels at least match weak seed labels (paper §4.4)
+    assert by_name["propagation label source (scores)"].ratio > 0.9
+    # swapping a real service set for a junk one costs performance
+    assert by_name["resource quality (end model)"].ratio > 1.0

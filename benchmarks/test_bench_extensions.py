@@ -1,0 +1,81 @@
+"""Benchmark: the paper's sketched follow-ups (§6.4, §7.3) applied on
+top of the core pipeline — self-training and domain-adaptation
+reweighting."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.datagen.entities import Modality
+from repro.experiments.common import ExperimentContext, model_auprc, modality_feature_names
+from repro.experiments.reporting import render_table
+from repro.extensions.domain_adaptation import modality_importance_weights
+from repro.extensions.self_training import SelfTrainer
+from repro.models.fusion import EarlyFusion
+from repro.models.mlp import MLPClassifier
+
+
+def _run(scale: float, seed: int) -> dict[str, float]:
+    ctx = ExperimentContext("CT1", scale=scale, seed=seed)
+    curation = ctx.curation
+    image_aug = curation.image_table_augmented
+    mask = curation.coverage_mask
+    rows = np.flatnonzero(mask)
+
+    text_feats = modality_feature_names(ctx, ("A", "B", "C", "D"), Modality.TEXT)
+    image_feats = modality_feature_names(ctx, ("A", "B", "C", "D"), Modality.IMAGE)
+    text_sel = ctx.text_table.select_features(
+        [n for n in text_feats if n in ctx.text_table.schema]
+    )
+    image_sel = image_aug.select_rows(rows).select_features(
+        [n for n in image_feats if n in image_aug.schema]
+    )
+    base_tables = [text_sel, image_sel]
+    base_targets = [
+        ctx.text_table.labels.astype(float),
+        curation.probabilistic_labels[mask],
+    ]
+
+    def factory():
+        return EarlyFusion(
+            lambda: MLPClassifier(seed=ctx.model_seed("ext"), n_epochs=60, patience=10)
+        )
+
+    # baseline cross-modal model
+    base = factory()
+    base.fit(base_tables, base_targets)
+    base_auprc = model_auprc(base, ctx.test_table, ctx.test_table.labels)
+
+    # + self-training over the labeled pool treated as fresh traffic
+    fresh = ctx.pool_table.with_labels(None).select_features(
+        [n for n in image_feats if n in ctx.pool_table.schema]
+    )
+    trainer = SelfTrainer(factory, n_rounds=1)
+    trainer.fit(base_tables, base_targets, fresh)
+    self_auprc = model_auprc(trainer, ctx.test_table, ctx.test_table.labels)
+
+    # + domain-adaptation reweighting of the text rows
+    weights = modality_importance_weights(text_sel, image_sel, seed=seed)
+    adapted = factory()
+    adapted.fit(base_tables, base_targets, [weights, None])
+    adapted_auprc = model_auprc(adapted, ctx.test_table, ctx.test_table.labels)
+
+    return {
+        "baseline": base_auprc,
+        "self_training": self_auprc,
+        "domain_adaptation": adapted_auprc,
+    }
+
+
+def test_bench_extensions(benchmark, scale, seed, report):
+    results = run_once(benchmark, lambda: _run(scale, seed))
+    report(
+        render_table(
+            ["variant", "AUPRC"],
+            [[k, round(v, 3)] for k, v in results.items()],
+            title="Extensions on top of the cross-modal pipeline (CT1)",
+        )
+    )
+    # the extensions must not break the model; the paper frames them as
+    # augmentations worth days of effort, not guaranteed wins at toy scale
+    assert results["self_training"] > 0.6 * results["baseline"]
+    assert results["domain_adaptation"] > 0.6 * results["baseline"]

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 5 (cross-over curves for CT 1, in the
+all-servable and nonservable-simulation regimes)."""
+
+from conftest import run_once
+
+from repro.experiments.end_to_end import run_figure5
+
+
+def test_bench_figure5(benchmark, scale, seed, report):
+    result = run_once(
+        benchmark,
+        lambda: run_figure5(scale=scale, seed=seed, n_model_seeds=2),
+    )
+    report(result.render())
+
+    # shape: the supervised curve eventually rises toward/past the
+    # cross-modal line (learning curves slope upward)
+    assert max(result.supervised_full) > result.supervised_full[0]
+    # shape: cross-modal with all service sets beats the AB-restricted
+    # cross-modal model (more resources help)
+    assert result.cross_modal_full >= result.cross_modal_servable - 0.05
+    # shape: restricting *servable* sets while keeping ABCD LFs still
+    # yields a model clearly above the AB-supervised early budgets
+    assert result.cross_modal_servable > result.supervised_servable[0]

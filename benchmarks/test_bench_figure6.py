@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 6 (organizational-resources factor
+analysis for CT 1)."""
+
+from conftest import run_once
+
+from repro.experiments.factor_analysis import run_figure6
+
+
+def test_bench_figure6(benchmark, scale, seed, report):
+    result = run_once(
+        benchmark, lambda: run_figure6(scale=scale, seed=seed, n_model_seeds=2)
+    )
+    report(result.render())
+
+    values = result.relative_auprc
+    # shape: adding resources grows AUPRC overall (last step well above
+    # the first), with a near-monotone path
+    assert values[-1] > values[0]
+    assert result.monotone_violations(tolerance=0.15) <= 2

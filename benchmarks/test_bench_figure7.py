@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 7 (multi-modal lesion study for CT 1)."""
+
+from conftest import run_once
+
+from repro.experiments.lesion import run_figure7
+
+
+def test_bench_figure7(benchmark, scale, seed, report):
+    result = run_once(
+        benchmark, lambda: run_figure7(scale=scale, seed=seed, n_model_seeds=2)
+    )
+    report(result.render())
+
+    # shape: combining modalities is at or near the best single
+    # modality at most feature levels (paper: better at all four)
+    assert result.combined_wins() >= 2
+    # shape: with all resources, combined is the best configuration
+    assert result.combined[-1] >= max(result.text_only[-1], result.image_only[-1]) - 0.1
+    # shape: more feature sets help the combined model
+    assert result.combined[-1] > result.combined[0]

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate the §6.6 training-method and feature-
+materialization comparisons."""
+
+from conftest import run_once
+
+from repro.experiments.fusion_ablation import run_fusion_ablation
+
+
+def test_bench_fusion(benchmark, scale, seed, report):
+    result = run_once(
+        benchmark, lambda: run_fusion_ablation("CT1", scale=scale, seed=seed)
+    )
+    report(result.render())
+
+    # shape: early fusion >= intermediate fusion >= DeViSE (paper's
+    # ordering, with slack for run noise)
+    assert result.early_vs_intermediate > 0.9
+    assert result.early_vs_devise > 1.0
+    # shape: service features compete with / beat the generic
+    # materialized CNN embedding; the org embedding is close to or
+    # above the generic one (paper: 1.54x and 1.04x)
+    assert result.services_vs_generic > 0.75
+    assert result.org_vs_generic > 0.85

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate the §6.7.1 automatic-vs-manual LF comparison."""
+
+from conftest import run_once
+
+from repro.experiments.lf_comparison import run_lf_comparison
+
+
+def test_bench_lf_generation(benchmark, scale, seed, report):
+    result = run_once(
+        benchmark, lambda: run_lf_comparison(scale=scale, seed=seed)
+    )
+    report(result.render())
+
+    # shape: the automatic path is faster than the expert
+    assert result.speedup > 1.0
+    # shape: mined LFs are competitive with the expert's on F1 (the
+    # paper reports +2.7 points for mined)
+    assert result.mined.f1 >= result.expert.f1 - 0.05
+    # shape: the mined suite trains a better end model
+    assert result.mined.end_auprc >= result.expert.end_auprc - 0.05

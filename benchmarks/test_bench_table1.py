@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 1 (dataset inventory for CT 1-5)."""
+
+from conftest import run_once
+
+from repro.experiments.table1 import PAPER_TABLE1, run_table1
+
+
+def test_bench_table1(benchmark, scale, seed, report):
+    result = run_once(benchmark, lambda: run_table1(scale=scale, seed=seed))
+    report(result.render())
+
+    # shape: per-task positive rates track the paper's Table 1
+    for task, row in result.rows.items():
+        target = PAPER_TABLE1[task]["pct_pos"]
+        assert abs(row["pct_pos"] - target) < max(2.0, 0.6 * target)
+    # corpus-size ordering preserved (CT2 has the largest text corpus)
+    assert result.rows["CT2"]["n_lbd_text"] >= result.rows["CT1"]["n_lbd_text"]

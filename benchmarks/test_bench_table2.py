@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Table 2 (end-to-end relative AUPRC and
+cross-over points for all five tasks)."""
+
+from conftest import run_once
+
+from repro.experiments.end_to_end import run_table2
+
+
+def test_bench_table2(benchmark, scale, seed, report):
+    result = run_once(
+        benchmark,
+        lambda: run_table2(scale=scale, seed=seed, n_model_seeds=2),
+    )
+    report(result.render())
+
+    crosses_above_single = 0
+    beats_baseline = 0
+    for task in result.tasks:
+        if task.cross_relative >= max(task.text_relative, task.image_relative) - 0.1:
+            crosses_above_single += 1
+        if task.cross_relative > 1.0:
+            beats_baseline += 1
+    # shape: the cross-modal model is at or near the top for most tasks
+    # and beats the embedding baseline for most tasks
+    assert crosses_above_single >= 3
+    assert beats_baseline >= 3
+    # shape: at least one task's cross-over lands inside the labeled
+    # pool (the paper's own points span 4k..750k — the top of its pool)
+    measured = [t for t in result.tasks if t.crossover is not None]
+    assert len(measured) >= 1

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table 3 (relative lift from label propagation
+in training-data curation)."""
+
+from conftest import run_once
+
+from repro.experiments.label_prop import run_table3
+
+
+def test_bench_table3(benchmark, scale, seed, report):
+    result = run_once(
+        benchmark,
+        lambda: run_table3(scale=scale, seed=seed, n_model_seeds=2),
+    )
+    report(result.render())
+
+    # shape: propagation never hurts F1 much and helps somewhere
+    f1_ratios = [row.f1_ratio for row in result.rows]
+    assert max(f1_ratios) > 1.0
+    assert sum(1 for r in f1_ratios if r > 0.85) >= 4
+    # shape: recall is the dimension propagation improves
+    recall_ratios = [row.recall_ratio for row in result.rows]
+    assert max(recall_ratios) >= max(f1_ratios) * 0.8

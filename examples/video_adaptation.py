@@ -1,0 +1,53 @@
+"""Adapting to video — the paper's headline new modality.
+
+The introduction's example is a moderation team whose application is
+about to launch *video* posts.  Videos are featurized by splitting them
+into representative frames with an organizational video-splitting tool
+and running the image services on the frames (paper §3.1.1); the same
+cross-modal pipeline then adapts the existing text task to video.
+
+Run:  python examples/video_adaptation.py
+"""
+
+from repro import CrossModalPipeline, PipelineConfig, classification_task
+from repro.datagen.entities import Modality
+from repro.datagen.tasks import generate_task_corpora
+from repro.resources import build_resource_suite
+
+SCALE = 0.15
+SEED = 4
+
+
+def main() -> None:
+    task_config = classification_task("CT2")
+    world, task, splits = generate_task_corpora(
+        task_config, scale=SCALE, seed=SEED, new_modality=Modality.VIDEO
+    )
+    print(f"adapting {task.name} from text to VIDEO")
+    print(f"unlabeled videos: {len(splits.image_unlabeled)}")
+    sample = splits.image_unlabeled[0]
+    print(f"example video: {sample.payload.n_frames} frames, "
+          f"{sample.payload.duration_seconds:.0f}s")
+
+    catalog = build_resource_suite(world, task, n_history=8_000, seed=SEED)
+    pipeline = CrossModalPipeline(world, task, catalog, PipelineConfig(seed=SEED))
+
+    # video posts flow through the same services: frame-wise topic
+    # models / object detectors, metadata joins, mean frame embeddings
+    video_table = pipeline.featurize(splits.image_unlabeled)
+    print("\nvideo feature presence (video services are noisier and less"
+          " available than image ones):")
+    for row in video_table.summary():
+        if row["feature"] in ("topics", "keywords", "objects",
+                              "page_categories", "org_embedding"):
+            print(f"  {row['feature']:>16}: presence {row['presence']}")
+
+    result = pipeline.run(splits)
+    print(f"\ncross-modal text->video model: AUPRC {result.metrics['auprc']:.3f} "
+          f"(video test positive rate {result.metrics['positive_rate']:.3f})")
+    print(f"LF suite: {len(result.curation.lfs)} functions, "
+          f"coverage {result.curation.label_matrix.coverage():.2f}")
+
+
+if __name__ == "__main__":
+    main()

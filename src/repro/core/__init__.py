@@ -1,0 +1,14 @@
+"""Pipeline orchestration: configs, split-architecture steps, and the
+end-to-end :class:`~repro.core.pipeline.CrossModalPipeline`."""
+
+from repro.core.config import CurationConfig, PipelineConfig, TrainingConfig
+from repro.core.pipeline import CrossModalPipeline, CurationResult, PipelineResult
+
+__all__ = [
+    "CrossModalPipeline",
+    "CurationConfig",
+    "CurationResult",
+    "PipelineConfig",
+    "PipelineResult",
+    "TrainingConfig",
+]

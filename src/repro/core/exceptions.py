@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class SchemaError(ReproError):
+    """A feature schema was violated (unknown feature, kind mismatch, ...)."""
+
+
+class ModalityError(ReproError):
+    """A resource or pipeline step was applied to an unsupported modality."""
+
+
+class NotFittedError(ReproError):
+    """A model or transformer was used before ``fit`` was called."""
+
+
+class LabelingError(ReproError):
+    """A labeling function or label model produced invalid output."""
+
+
+class MiningError(ReproError):
+    """Frequent-itemset mining was given invalid parameters or data."""
+
+
+class GraphError(ReproError):
+    """A similarity graph could not be constructed or is malformed."""
+
+
+class ResourceError(ReproError):
+    """An organizational resource failed or was misconfigured."""

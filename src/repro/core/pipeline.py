@@ -1,0 +1,505 @@
+"""The end-to-end cross-modal adaptation pipeline (paper Figure 3).
+
+Three split-architecture steps with well-defined artifacts between them:
+
+A. **Feature generation** — apply the organizational-resource catalog to
+   every corpus, producing row-aligned feature tables in the common
+   feature space.
+B. **Training-data curation** — mine LFs from a labeled old-modality
+   development split, augment them with label-propagation LFs over a
+   cross-modal similarity graph, and denoise the votes into
+   probabilistic labels with the generative label model.
+C. **Model training** — train a multi-modal model (early / intermediate
+   fusion or DeViSE) over the fully-supervised old modality and the
+   weakly-supervised new modality, using only servable features.
+
+Each step is a public method so team members can enter and exit the
+pipeline at their step (the paper's production requirement §2.3);
+:meth:`CrossModalPipeline.run` chains them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import PipelineConfig
+from repro.core.exceptions import ConfigurationError
+from repro.core.rng import derive_seed, spawn
+from repro.datagen.corpus import Corpus, CorpusSplits
+from repro.datagen.entities import Modality
+from repro.datagen.world import TaskRuntime, World
+from repro.features.schema import FeatureSchema
+from repro.features.table import FeatureTable
+from repro.labeling.analysis import WeakLabelQuality, weak_label_quality
+from repro.labeling.label_model import GenerativeLabelModel, conditional_table
+from repro.labeling.lf import LabelingFunction
+from repro.labeling.majority import MajorityVoter
+from repro.labeling.matrix import LabelMatrix, apply_lfs
+from repro.mining.lf_generator import MinedLFGenerator
+from repro.models.fusion import DeViSE, EarlyFusion, IntermediateFusion
+from repro.models.linear import LogisticRegression
+from repro.models.metrics import auprc, f1_score
+from repro.models.mlp import MLPClassifier
+from repro.propagation.graph import GraphConfig, build_knn_graph
+from repro.propagation.lf_adapter import (
+    PROPAGATION_FEATURE,
+    propagation_feature_spec,
+    propagation_lfs,
+)
+from repro.propagation.propagate import LabelPropagation
+from repro.propagation.streaming import StreamingLabelPropagation
+from repro.resources.catalog import ResourceCatalog
+from repro.resources.featurize import featurize_corpus
+from repro.resources.service_sets import IMAGE_SET
+
+__all__ = ["CrossModalPipeline", "CurationResult", "PipelineResult"]
+
+
+@dataclass
+class CurationResult:
+    """Artifacts of the training-data curation step."""
+
+    lfs: list[LabelingFunction]
+    label_matrix: LabelMatrix
+    probabilistic_labels: np.ndarray
+    class_balance: float
+    dev_quality: WeakLabelQuality | None = None
+    propagation_scores: np.ndarray | None = None
+    label_model: GenerativeLabelModel | None = None
+    image_table_augmented: FeatureTable | None = None
+    dev_table_augmented: FeatureTable | None = None
+
+    @property
+    def coverage_mask(self) -> np.ndarray:
+        """Rows of the new modality with an informative label: at least
+        one LF vote, or a blended probabilistic label that moved away
+        from the class prior (propagation evidence)."""
+        voted = (self.label_matrix.votes != 0).any(axis=1)
+        informative = (
+            np.abs(self.probabilistic_labels - self.class_balance) > 0.01
+        )
+        return voted | informative
+
+
+@dataclass
+class PipelineResult:
+    """Everything :meth:`CrossModalPipeline.run` produces."""
+
+    metrics: dict[str, float]
+    curation: CurationResult
+    model: object
+    tables: dict[str, FeatureTable] = field(default_factory=dict)
+    timings: dict[str, float] = field(default_factory=dict)
+    test_scores: np.ndarray | None = None
+
+
+class CrossModalPipeline:
+    """Cross-modal adaptation over one task and resource catalog."""
+
+    def __init__(
+        self,
+        world: World,
+        task: TaskRuntime,
+        catalog: ResourceCatalog,
+        config: PipelineConfig | None = None,
+    ) -> None:
+        self.world = world
+        self.task = task
+        self.catalog = catalog
+        self.config = config or PipelineConfig()
+        self.schema = catalog.schema()
+
+    # ------------------------------------------------------------------
+    # step A: feature generation
+    # ------------------------------------------------------------------
+    def featurize(self, corpus: Corpus, include_labels: bool = False) -> FeatureTable:
+        """Apply the full resource catalog to ``corpus``.
+
+        Featurization always uses the full catalog; experiments narrow
+        the feature set later by selecting columns, which keeps values
+        identical across configurations (per-point, per-resource RNG
+        streams).
+        """
+        return featurize_corpus(
+            corpus,
+            list(self.catalog),
+            seed=derive_seed(self.config.seed, "featurize"),
+            include_labels=include_labels,
+            n_threads=self.config.n_threads,
+        )
+
+    # ------------------------------------------------------------------
+    # feature selection helpers
+    # ------------------------------------------------------------------
+    def lf_feature_schema(self) -> FeatureSchema:
+        """Features LFs / mining / propagation may read (servable and
+        nonservable alike — curation is offline)."""
+        return self.schema.select(service_sets=self.config.lf_service_sets)
+
+    def model_feature_schema(self, modality: Modality) -> FeatureSchema:
+        """Servable features the deployed model may consume."""
+        sets = list(self.config.model_service_sets)
+        if self.config.include_image_features and modality is not Modality.TEXT:
+            sets.append(IMAGE_SET)
+        return self.schema.select(
+            service_sets=sets, servable_only=True, modality=modality
+        )
+
+    def select_model_features(
+        self, table: FeatureTable, modality: Modality
+    ) -> FeatureTable:
+        schema = self.model_feature_schema(modality)
+        names = [n for n in schema.names if n in table.schema]
+        return table.select_features(names)
+
+    # ------------------------------------------------------------------
+    # step B: training data curation
+    # ------------------------------------------------------------------
+    def curate(
+        self,
+        text_table: FeatureTable,
+        image_table: FeatureTable,
+    ) -> CurationResult:
+        """Weakly label the new modality using the old one.
+
+        ``text_table`` must carry labels; ``image_table`` must not (the
+        pipeline never reads new-modality labels).
+        """
+        if text_table.labels is None:
+            raise ConfigurationError("curation requires a labeled old-modality table")
+        cfg = self.config.curation
+        rng = spawn(self.config.seed, "curate")
+
+        # dev / seed split of the labeled old modality
+        n_text = text_table.n_rows
+        perm = rng.permutation(n_text)
+        n_dev = max(int(cfg.dev_fraction * n_text), 50)
+        dev_idx = np.sort(perm[:n_dev])
+        seed_pool_idx = np.sort(perm[n_dev:])
+        dev_table = text_table.select_rows(dev_idx)
+
+        lf_schema = self.lf_feature_schema()
+        lf_names = [n for n in lf_schema.names if n in text_table.schema]
+
+        lfs: list[LabelingFunction] = []
+        if cfg.use_mined_lfs:
+            generator = MinedLFGenerator(
+                min_precision=cfg.min_precision,
+                min_lift=cfg.min_lift,
+                min_recall=cfg.min_recall,
+                max_order=cfg.max_order,
+            )
+            lfs.extend(
+                generator.generate(
+                    dev_table.select_features(lf_names), features=lf_names
+                )
+            )
+
+        image_aug = image_table
+        dev_aug = dev_table
+        propagation_scores: np.ndarray | None = None
+        class_balance = float(np.clip(dev_table.labels.mean(), 1e-4, 0.5))
+
+        if cfg.use_propagation:
+            image_aug, dev_aug, prop_lfs, propagation_scores = self._propagate(
+                text_table, seed_pool_idx, dev_table, image_table, lf_names,
+                class_balance, rng,
+            )
+            lfs.extend(prop_lfs)
+
+        if not lfs:
+            raise ConfigurationError(
+                "curation produced no labeling functions; "
+                "enable mining or propagation, or loosen thresholds"
+            )
+
+        matrix = apply_lfs(lfs, image_aug, n_threads=self.config.n_threads)
+        dev_matrix = apply_lfs(lfs, dev_aug, n_threads=self.config.n_threads)
+        if cfg.use_generative_model:
+            # anchor the LF conditional tables to their old-modality
+            # dev-set estimates (§4.2: labeled data of existing
+            # modalities serves as the development set)
+            anchors = conditional_table(dev_matrix.votes, dev_table.labels)
+            label_model = GenerativeLabelModel(class_balance=class_balance)
+            label_model.fit(matrix, accuracy_anchors=anchors, anchor_strength=25.0)
+            proba = label_model.predict_proba(matrix)
+        else:
+            label_model = None
+            proba = MajorityVoter(prior=class_balance).predict_proba(matrix)
+
+        # quality of the weak labels, measured on the dev split
+        if cfg.use_generative_model and label_model is not None:
+            dev_proba = label_model.predict_proba(dev_matrix)
+        else:
+            dev_proba = MajorityVoter(prior=class_balance).predict_proba(dev_matrix)
+
+        # The propagation score "can also be used as a form of
+        # probabilistic label" (§4.4): blend it into the label-model
+        # posterior with a weight chosen on the dev split.
+        if cfg.use_propagation and cfg.blend_propagation and propagation_scores is not None:
+            dev_prop = np.array(
+                [
+                    v if v is not None else class_balance
+                    for v in dev_aug.column(PROPAGATION_FEATURE)
+                ],
+                dtype=float,
+            )
+            weight = self._tune_blend_weight(
+                dev_proba, dev_prop, dev_table.labels
+            )
+            proba = (1.0 - weight) * proba + weight * propagation_scores
+            dev_proba = (1.0 - weight) * dev_proba + weight * dev_prop
+        dev_quality = weak_label_quality(
+            dev_proba, dev_table.labels, prior=class_balance
+        )
+
+        return CurationResult(
+            lfs=lfs,
+            label_matrix=matrix,
+            probabilistic_labels=proba,
+            class_balance=class_balance,
+            dev_quality=dev_quality,
+            propagation_scores=propagation_scores,
+            label_model=label_model,
+            image_table_augmented=image_aug,
+            dev_table_augmented=dev_aug,
+        )
+
+    @staticmethod
+    def _tune_blend_weight(
+        dev_model_proba: np.ndarray,
+        dev_prop_scores: np.ndarray,
+        dev_labels: np.ndarray,
+        grid: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    ) -> float:
+        """Dev-tuned weight for blending propagation scores into the
+        probabilistic labels (0 = label model only, 1 = scores only)."""
+        if dev_labels.sum() == 0:
+            return 0.0
+        best_weight, best_score = 0.0, -np.inf
+        for weight in grid:
+            blended = (1.0 - weight) * dev_model_proba + weight * dev_prop_scores
+            score = auprc(blended, dev_labels)
+            if score > best_score:
+                best_score = score
+                best_weight = weight
+        return best_weight
+
+    def _propagate(
+        self,
+        text_table: FeatureTable,
+        seed_pool_idx: np.ndarray,
+        dev_table: FeatureTable,
+        image_table: FeatureTable,
+        lf_names: list[str],
+        class_balance: float,
+        rng: np.random.Generator,
+    ) -> tuple[FeatureTable, FeatureTable, list[LabelingFunction], np.ndarray]:
+        """Run label propagation; returns augmented tables, the
+        propagation LFs, and the new-modality scores."""
+        cfg = self.config.curation
+
+        # cap graph size: sample seed and dev nodes
+        if len(seed_pool_idx) > cfg.max_seed_nodes:
+            seed_idx = np.sort(
+                rng.choice(seed_pool_idx, size=cfg.max_seed_nodes, replace=False)
+            )
+        else:
+            seed_idx = seed_pool_idx
+        seed_table = text_table.select_rows(seed_idx)
+        if dev_table.n_rows > cfg.max_dev_nodes:
+            keep = np.sort(
+                rng.choice(dev_table.n_rows, size=cfg.max_dev_nodes, replace=False)
+            )
+            dev_graph_table = dev_table.select_rows(keep)
+        else:
+            keep = np.arange(dev_table.n_rows)
+            dev_graph_table = dev_table
+
+        # graph features: the LF feature space plus unstructured
+        # modality-specific features ("we use features specific to the
+        # new modality to construct edges, including ... embeddings")
+        graph_features = list(lf_names)
+        for extra in ("org_embedding",):
+            if extra in image_table.schema and extra not in graph_features:
+                graph_features.append(extra)
+
+        combined = (
+            seed_table.select_features(
+                [n for n in graph_features if n in seed_table.schema]
+            )
+            .concat(
+                dev_graph_table.select_features(
+                    [n for n in graph_features if n in dev_graph_table.schema]
+                )
+            )
+            .concat(
+                image_table.select_features(
+                    [n for n in graph_features if n in image_table.schema]
+                )
+            )
+        )
+        graph = build_knn_graph(
+            combined,
+            GraphConfig(
+                k=cfg.graph_k,
+                feature_weights={"org_embedding": cfg.graph_embedding_weight},
+            ),
+        )
+
+        n_seed = seed_table.n_rows
+        n_dev = dev_graph_table.n_rows
+        propagator = (
+            StreamingLabelPropagation(prior=class_balance)
+            if cfg.streaming_propagation
+            else LabelPropagation(prior=class_balance)
+        )
+        result = propagator.run(
+            graph,
+            seed_indices=np.arange(n_seed),
+            seed_labels=seed_table.labels,
+        )
+        dev_scores_sampled = result.scores[n_seed:n_seed + n_dev]
+        image_scores = result.scores[n_seed + n_dev:]
+
+        top = cfg.propagation_positive_precision
+        bottom = cfg.propagation_negative_precision
+        prop_lfs = propagation_lfs(
+            dev_scores_sampled,
+            dev_graph_table.labels,
+            positive_precisions=(min(top + 0.2, 0.95), top, max(top - 0.15, 0.4)),
+            negative_precisions=(min(bottom + 0.004, 0.9999), bottom, bottom - 0.01),
+        )
+
+        spec = propagation_feature_spec()
+        image_aug = image_table.with_feature(spec, list(image_scores))
+        # dev rows outside the graph sample get the prior (no score)
+        dev_scores_full = np.full(dev_table.n_rows, class_balance)
+        dev_scores_full[keep] = dev_scores_sampled
+        dev_aug = dev_table.with_feature(spec, list(dev_scores_full))
+        return image_aug, dev_aug, prop_lfs, image_scores
+
+    # ------------------------------------------------------------------
+    # step C: model training
+    # ------------------------------------------------------------------
+    def model_factory(self, seed_tag: str = "model"):
+        """Estimator factory per the training config."""
+        t = self.config.training
+        seed = derive_seed(self.config.seed, seed_tag)
+        if t.model == "logreg":
+            return lambda: LogisticRegression(
+                l2=max(t.l2, 1e-6), learning_rate=0.05, n_epochs=200, seed=seed
+            )
+        return lambda: MLPClassifier(
+            hidden_sizes=t.hidden_sizes,
+            n_epochs=t.n_epochs,
+            batch_size=t.batch_size,
+            learning_rate=t.learning_rate,
+            l2=t.l2,
+            seed=seed,
+        )
+
+    def train(
+        self,
+        text_table: FeatureTable,
+        curation: CurationResult,
+        seed_tag: str = "model",
+    ):
+        """Train the multi-modal model on servable features.
+
+        Old modality: human labels.  New modality: probabilistic labels
+        (rows with no LF coverage are dropped when configured — their
+        labels are pure prior).
+        """
+        if text_table.labels is None:
+            raise ConfigurationError("training requires labeled old-modality data")
+        image_table = curation.image_table_augmented
+        if image_table is None:
+            raise ConfigurationError("curation result lacks the augmented table")
+
+        text_sel = self.select_model_features(text_table, Modality.TEXT)
+        image_modality = image_table.modalities[0] if image_table.modalities else Modality.IMAGE
+        image_sel = self.select_model_features(image_table, image_modality)
+        proba = curation.probabilistic_labels
+        if self.config.curation.drop_uncovered:
+            mask = curation.coverage_mask
+            image_sel = image_sel.select_rows(np.flatnonzero(mask))
+            proba = proba[mask]
+
+        factory = self.model_factory(seed_tag)
+        fusion_kind = self.config.training.fusion
+        if fusion_kind == "early":
+            model = EarlyFusion(factory, max_vocab=self.config.training.max_vocab)
+            model.fit([text_sel, image_sel], [text_table.labels.astype(float), proba])
+        elif fusion_kind == "intermediate":
+            model = IntermediateFusion(
+                factory, max_vocab=self.config.training.max_vocab
+            )
+            model.fit([text_sel, image_sel], [text_table.labels.astype(float), proba])
+        else:
+            if self.config.training.model != "mlp":
+                raise ConfigurationError("DeViSE requires the MLP model family")
+            model = DeViSE(factory, max_vocab=self.config.training.max_vocab)
+            model.fit(
+                [text_sel],
+                [text_table.labels.astype(float)],
+                image_sel,
+                proba,
+            )
+        return model
+
+    # ------------------------------------------------------------------
+    # evaluation and end-to-end
+    # ------------------------------------------------------------------
+    def evaluate(self, model, test_table: FeatureTable) -> tuple[dict[str, float], np.ndarray]:
+        """Score the trained model on a labeled new-modality test table."""
+        if test_table.labels is None:
+            raise ConfigurationError("evaluation requires a labeled test table")
+        modality = test_table.modalities[0] if test_table.modalities else Modality.IMAGE
+        test_sel = self.select_model_features(test_table, modality)
+        scores = model.predict_proba(test_sel)
+        metrics = {
+            "auprc": auprc(scores, test_table.labels),
+            "f1@0.5": f1_score(scores, test_table.labels),
+            "positive_rate": float(test_table.labels.mean()),
+            "n_test": float(test_table.n_rows),
+        }
+        return metrics, scores
+
+    def run(self, splits: CorpusSplits) -> PipelineResult:
+        """Full pipeline: featurize -> curate -> train -> evaluate."""
+        timings: dict[str, float] = {}
+
+        t0 = time.perf_counter()
+        text_table = self.featurize(splits.text_labeled, include_labels=True)
+        image_table = self.featurize(splits.image_unlabeled, include_labels=False)
+        test_table = self.featurize(splits.image_test, include_labels=True)
+        timings["featurize"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        curation = self.curate(text_table, image_table)
+        timings["curate"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        model = self.train(text_table, curation)
+        timings["train"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        metrics, scores = self.evaluate(model, test_table)
+        timings["evaluate"] = time.perf_counter() - t0
+
+        return PipelineResult(
+            metrics=metrics,
+            curation=curation,
+            model=model,
+            tables={
+                "text": text_table,
+                "image_unlabeled": curation.image_table_augmented or image_table,
+                "test": test_table,
+            },
+            timings=timings,
+            test_scores=scores,
+        )

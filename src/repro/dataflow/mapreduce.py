@@ -1,0 +1,126 @@
+"""A small in-process MapReduce engine.
+
+Semantics match the classic model:
+
+* ``mapper(record) -> iterable[(key, value)]`` runs once per input
+  record (optionally across a thread pool, partitioned deterministically
+  so output order does not depend on scheduling);
+* an optional ``combiner(key, values) -> iterable[value]`` pre-reduces
+  each partition's output;
+* the shuffle groups values by key (keys must be hashable and sortable);
+* ``reducer(key, values) -> output`` runs once per key, in sorted key
+  order.
+
+Determinism: values arrive at the reducer in (partition, input-order)
+order regardless of thread scheduling, so jobs are reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Callable, Hashable, Iterable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, TypeVar
+
+from repro.core.exceptions import ConfigurationError
+
+__all__ = ["MapReduceJob", "run_mapreduce", "run_map"]
+
+Record = TypeVar("Record")
+Key = Hashable
+Mapper = Callable[[Any], Iterable[tuple[Key, Any]]]
+Combiner = Callable[[Key, list[Any]], Iterable[Any]]
+Reducer = Callable[[Key, list[Any]], Any]
+
+
+@dataclass
+class MapReduceJob:
+    """A configured MapReduce job; call :meth:`run` with the input."""
+
+    mapper: Mapper
+    reducer: Reducer
+    combiner: Combiner | None = None
+    n_partitions: int = 8
+    n_threads: int = 1
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_partitions < 1:
+            raise ConfigurationError("n_partitions must be >= 1")
+        if self.n_threads < 1:
+            raise ConfigurationError("n_threads must be >= 1")
+
+    def _partitions(self, records: Sequence[Any]) -> list[list[Any]]:
+        n = min(self.n_partitions, max(len(records), 1))
+        parts: list[list[Any]] = [[] for _ in range(n)]
+        for i, record in enumerate(records):
+            parts[i % n].append(record)
+        return parts
+
+    def _map_partition(self, partition: list[Any]) -> dict[Key, list[Any]]:
+        grouped: dict[Key, list[Any]] = defaultdict(list)
+        for record in partition:
+            for key, value in self.mapper(record):
+                grouped[key].append(value)
+        if self.combiner is not None:
+            grouped = {
+                key: list(self.combiner(key, values))
+                for key, values in grouped.items()
+            }
+        return grouped
+
+    def run(self, records: Sequence[Any]) -> dict[Key, Any]:
+        """Execute the job; returns {key: reducer output} in key order."""
+        partitions = self._partitions(list(records))
+        self.counters["input_records"] = len(records)
+
+        if self.n_threads == 1 or len(partitions) == 1:
+            mapped = [self._map_partition(p) for p in partitions]
+        else:
+            with ThreadPoolExecutor(max_workers=self.n_threads) as pool:
+                mapped = list(pool.map(self._map_partition, partitions))
+
+        shuffled: dict[Key, list[Any]] = defaultdict(list)
+        for part in mapped:
+            for key, values in part.items():
+                shuffled[key].extend(values)
+        self.counters["distinct_keys"] = len(shuffled)
+
+        output: dict[Key, Any] = {}
+        for key in sorted(shuffled, key=repr):
+            output[key] = self.reducer(key, shuffled[key])
+        self.counters["reduced_keys"] = len(output)
+        return output
+
+
+def run_mapreduce(
+    records: Sequence[Any],
+    mapper: Mapper,
+    reducer: Reducer,
+    combiner: Combiner | None = None,
+    n_partitions: int = 8,
+    n_threads: int = 1,
+) -> dict[Key, Any]:
+    """One-shot convenience wrapper around :class:`MapReduceJob`."""
+    job = MapReduceJob(
+        mapper=mapper,
+        reducer=reducer,
+        combiner=combiner,
+        n_partitions=n_partitions,
+        n_threads=n_threads,
+    )
+    return job.run(records)
+
+
+def run_map(
+    records: Sequence[Any],
+    fn: Callable[[Any], Any],
+    n_threads: int = 1,
+) -> list[Any]:
+    """Map-only job preserving input order (a common degenerate case:
+    per-record featurization with no aggregation)."""
+    if n_threads == 1 or len(records) < 2:
+        return [fn(r) for r in records]
+    with ThreadPoolExecutor(max_workers=n_threads) as pool:
+        return list(pool.map(fn, records))

@@ -1,0 +1,84 @@
+"""Multi-stage dataflow plans.
+
+A :class:`StagePlan` chains named stages, each a callable from the
+previous stage's output to the next.  The split architecture's property
+that "each individual can enter and exit at different steps" maps to
+stages having well-defined, inspectable inputs and outputs: every stage
+result is retained on the plan run for inspection, and a plan can be
+resumed from any stage with a substituted artifact.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.exceptions import ConfigurationError
+
+__all__ = ["Stage", "StagePlan", "PlanRun"]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One named stage of a plan."""
+
+    name: str
+    fn: Callable[[Any], Any]
+    description: str = ""
+
+
+@dataclass
+class PlanRun:
+    """Artifacts and timings from executing a plan."""
+
+    artifacts: dict[str, Any] = field(default_factory=dict)
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def output(self) -> Any:
+        if not self.artifacts:
+            return None
+        return next(reversed(self.artifacts.values()))
+
+
+class StagePlan:
+    """An ordered list of stages executed sequentially."""
+
+    def __init__(self, stages: list[Stage] | None = None) -> None:
+        self.stages: list[Stage] = list(stages or [])
+
+    def add(self, name: str, fn: Callable[[Any], Any], description: str = "") -> "StagePlan":
+        if any(s.name == name for s in self.stages):
+            raise ConfigurationError(f"duplicate stage name {name!r}")
+        self.stages.append(Stage(name=name, fn=fn, description=description))
+        return self
+
+    def stage_names(self) -> list[str]:
+        return [s.name for s in self.stages]
+
+    def run(self, initial: Any, start_at: str | None = None, injected: Any = None) -> PlanRun:
+        """Execute stages in order.
+
+        ``start_at`` skips stages before the named one and feeds
+        ``injected`` (a substituted upstream artifact) into it — this is
+        how a team member re-enters the pipeline at their step.
+        """
+        run = PlanRun()
+        value = initial
+        started = start_at is None
+        for stage in self.stages:
+            if not started:
+                if stage.name == start_at:
+                    started = True
+                    value = injected
+                else:
+                    continue
+            t0 = time.perf_counter()
+            value = stage.fn(value)
+            run.timings[stage.name] = time.perf_counter() - t0
+            run.artifacts[stage.name] = value
+        if not started:
+            raise ConfigurationError(f"stage {start_at!r} not found in plan")
+        return run

@@ -1,0 +1,32 @@
+"""Synthetic organizational world.
+
+This subpackage stands in for the proprietary Google corpora used in the
+paper.  It generates data points from a shared *latent* representation
+(topics, objects, keywords, URLs, and a continuous embedding) and renders
+each point into a concrete modality (text, image, or video).  Because all
+modalities are views of the same latent state, organizational resources
+(:mod:`repro.resources`) can recover *correlated but differently
+distributed* features from each modality — exactly the structure the
+paper's experiments depend on (a bridgeable modality gap).
+"""
+
+from repro.datagen.entities import DataPoint, ImagePayload, Modality, TextPayload, VideoPayload
+from repro.datagen.corpus import Corpus, CorpusSplits
+from repro.datagen.world import World, WorldConfig
+from repro.datagen.tasks import TaskConfig, classification_task, generate_task_corpora, list_tasks
+
+__all__ = [
+    "Corpus",
+    "CorpusSplits",
+    "DataPoint",
+    "ImagePayload",
+    "Modality",
+    "TaskConfig",
+    "TextPayload",
+    "VideoPayload",
+    "World",
+    "WorldConfig",
+    "classification_task",
+    "generate_task_corpora",
+    "list_tasks",
+]

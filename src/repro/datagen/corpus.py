@@ -1,0 +1,175 @@
+"""Corpus containers: ordered collections of data points with helpers.
+
+A :class:`Corpus` is row-aligned with everything downstream — feature
+tables, label matrices, and propagation scores all index rows the same
+way.  :class:`CorpusSplits` bundles the corpora a cross-modal task needs
+(Table 1 of the paper): labeled old-modality data, unlabeled
+new-modality data, a labeled new-modality test set, and a labeled
+new-modality pool for fully-supervised comparisons.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.rng import make_rng
+from repro.datagen.entities import DataPoint, Modality
+
+__all__ = ["Corpus", "CorpusSplits"]
+
+
+@dataclass
+class Corpus:
+    """An ordered, immutable-by-convention list of data points."""
+
+    points: list[DataPoint]
+    name: str = "corpus"
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[DataPoint]:
+        return iter(self.points)
+
+    def __getitem__(self, index: int) -> DataPoint:
+        return self.points[index]
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Ground-truth labels as an int array (evaluation only)."""
+        return np.array([p.label for p in self.points], dtype=np.int64)
+
+    @property
+    def point_ids(self) -> np.ndarray:
+        return np.array([p.point_id for p in self.points], dtype=np.int64)
+
+    @property
+    def user_ids(self) -> np.ndarray:
+        return np.array([p.user_id for p in self.points], dtype=np.int64)
+
+    @property
+    def positive_rate(self) -> float:
+        if not self.points:
+            return 0.0
+        return float(self.labels.mean())
+
+    def modalities(self) -> set[Modality]:
+        return {p.modality for p in self.points}
+
+    def filter(self, predicate: Callable[[DataPoint], bool], name: str | None = None) -> "Corpus":
+        """Return a new corpus with the points matching ``predicate``."""
+        return Corpus(
+            points=[p for p in self.points if predicate(p)],
+            name=name or f"{self.name}/filtered",
+        )
+
+    def sample(
+        self, n: int, seed: int | np.random.Generator = 0, name: str | None = None
+    ) -> "Corpus":
+        """Uniform random subsample of ``n`` points (without replacement)."""
+        if n > len(self.points):
+            raise ConfigurationError(
+                f"cannot sample {n} points from corpus of size {len(self.points)}"
+            )
+        rng = make_rng(seed)
+        idx = rng.choice(len(self.points), size=n, replace=False)
+        idx.sort()
+        return Corpus(
+            points=[self.points[i] for i in idx],
+            name=name or f"{self.name}/sample{n}",
+        )
+
+    def take(self, n: int, name: str | None = None) -> "Corpus":
+        """First ``n`` points (corpora are generated in random order, so
+        a prefix is itself a uniform sample — used by labeling-budget
+        sweeps so larger budgets are supersets of smaller ones)."""
+        if n > len(self.points):
+            raise ConfigurationError(
+                f"cannot take {n} points from corpus of size {len(self.points)}"
+            )
+        return Corpus(points=self.points[:n], name=name or f"{self.name}/take{n}")
+
+    def split(
+        self, fraction: float, seed: int | np.random.Generator = 0
+    ) -> tuple["Corpus", "Corpus"]:
+        """Random split into (first, second) with ``fraction`` in first."""
+        if not 0.0 < fraction < 1.0:
+            raise ConfigurationError(f"fraction must be in (0, 1), got {fraction}")
+        rng = make_rng(seed)
+        idx = rng.permutation(len(self.points))
+        cut = int(round(fraction * len(self.points)))
+        first = Corpus(
+            points=[self.points[i] for i in sorted(idx[:cut])],
+            name=f"{self.name}/split-a",
+        )
+        second = Corpus(
+            points=[self.points[i] for i in sorted(idx[cut:])],
+            name=f"{self.name}/split-b",
+        )
+        return first, second
+
+    def concat(self, other: "Corpus", name: str | None = None) -> "Corpus":
+        """Concatenate two corpora (rows of ``self`` first)."""
+        return Corpus(
+            points=self.points + other.points,
+            name=name or f"{self.name}+{other.name}",
+        )
+
+    def summary(self) -> dict[str, object]:
+        """Dataset-card style summary (drives the Table-1 bench)."""
+        modality_names = sorted(m.value for m in self.modalities())
+        return {
+            "name": self.name,
+            "n_points": len(self.points),
+            "modalities": modality_names,
+            "positive_rate": round(self.positive_rate, 4),
+            "n_users": int(len(np.unique(self.user_ids))) if self.points else 0,
+        }
+
+
+@dataclass
+class CorpusSplits:
+    """The corpora for one cross-modal task (mirrors Table 1).
+
+    Attributes
+    ----------
+    text_labeled:
+        Old-modality (text) corpus with human labels — the paper's
+        ``n_lbd,text`` (18–26 M there, thousands here).
+    image_unlabeled:
+        New-modality corpus whose labels the pipeline must NOT read; it
+        is what weak supervision labels (``n_unlbld,image``).
+    image_test:
+        Held-out labeled new-modality test set (``n_lbd,image``).
+    image_labeled_pool:
+        Labeled new-modality pool used only by the fully-supervised
+        comparison sweeps (Figure 5 / Table 2 cross-over points).
+    """
+
+    text_labeled: Corpus
+    image_unlabeled: Corpus
+    image_test: Corpus
+    image_labeled_pool: Corpus
+    extras: dict[str, Corpus] = field(default_factory=dict)
+
+    def table1_row(self) -> dict[str, object]:
+        """One row of the paper's Table 1 for this task's splits."""
+        return {
+            "n_lbd_text": len(self.text_labeled),
+            "n_unlbld_image": len(self.image_unlabeled),
+            "n_lbd_image": len(self.image_test),
+            "pct_pos": round(100.0 * self.image_test.positive_rate, 1),
+        }
+
+    def all_corpora(self) -> Sequence[Corpus]:
+        return [
+            self.text_labeled,
+            self.image_unlabeled,
+            self.image_test,
+            self.image_labeled_pool,
+            *self.extras.values(),
+        ]

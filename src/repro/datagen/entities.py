@@ -1,0 +1,135 @@
+"""Core data-point entities shared across the package.
+
+A :class:`DataPoint` is what flows through the pipeline: an id, a user,
+a modality, a modality-specific payload, and (internally) the latent
+attributes it was rendered from.  Downstream code other than the
+simulated organizational resources must never read ``latent`` — it plays
+the role of the unobservable real world.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "Modality",
+    "LatentState",
+    "TextPayload",
+    "ImagePayload",
+    "VideoPayload",
+    "DataPoint",
+]
+
+
+class Modality(enum.Enum):
+    """The data modality of a post."""
+
+    TEXT = "text"
+    IMAGE = "image"
+    VIDEO = "video"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class LatentState:
+    """Unobservable ground-truth attributes behind a data point.
+
+    Only the data generator and the simulated organizational resources
+    may inspect this; it models the real-world content that production
+    services at Google would analyse.
+    """
+
+    topics: tuple[int, ...]
+    objects: tuple[int, ...]
+    keywords: tuple[int, ...]
+    entities: tuple[int, ...]
+    url_category: int
+    page_categories: tuple[int, ...]
+    embedding: np.ndarray
+    score: float
+
+
+@dataclass(frozen=True)
+class TextPayload:
+    """Rendered text post: a token sequence plus surface statistics."""
+
+    tokens: tuple[str, ...]
+    has_emoji: bool
+
+    @property
+    def n_words(self) -> int:
+        return len(self.tokens)
+
+
+@dataclass(frozen=True)
+class ImagePayload:
+    """Rendered image post.
+
+    ``org_embedding`` simulates the organization-wide pretrained image
+    embedding the paper mentions; ``generic_embedding`` simulates a
+    generic materialized CNN (inception-v3-like) feature, which the paper
+    finds slightly weaker (§6.6).  ``visible_objects`` are the objects an
+    off-the-shelf detector could plausibly see.
+    """
+
+    org_embedding: np.ndarray
+    generic_embedding: np.ndarray
+    visible_objects: tuple[int, ...]
+    quality: float
+
+
+@dataclass(frozen=True)
+class VideoPayload:
+    """Rendered video post: an ordered tuple of image frames.
+
+    The paper's motivating example featurizes video by splitting it into
+    representative frames with an organizational video-splitting tool and
+    then running image services on the frames.
+    """
+
+    frames: tuple[ImagePayload, ...]
+    duration_seconds: float
+
+    @property
+    def n_frames(self) -> int:
+        return len(self.frames)
+
+
+@dataclass(frozen=True)
+class DataPoint:
+    """A single post in some modality.
+
+    Attributes
+    ----------
+    point_id:
+        Globally unique id within a generated corpus.
+    user_id:
+        The posting user; joins the point to aggregate statistics.
+    modality:
+        Which modality the payload is.
+    payload:
+        One of :class:`TextPayload`, :class:`ImagePayload`,
+        :class:`VideoPayload`.
+    latent:
+        Hidden ground truth; see :class:`LatentState`.
+    label:
+        Ground-truth binary task label (1 positive / 0 negative).  Test
+        sets expose it; "unlabeled" corpora carry it only for evaluation
+        and the pipeline never reads it during curation.
+    """
+
+    point_id: int
+    user_id: int
+    modality: Modality
+    payload: TextPayload | ImagePayload | VideoPayload
+    latent: LatentState = field(repr=False)
+    label: int
+
+    def __post_init__(self) -> None:
+        if self.label not in (0, 1):
+            raise ValueError(f"label must be 0 or 1, got {self.label!r}")

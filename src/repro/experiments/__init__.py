@@ -1,0 +1,46 @@
+"""Experiment harnesses reproducing every table and figure of §6.
+
+Each module owns one paper artifact:
+
+* :mod:`repro.experiments.table1` — Table 1 (dataset inventory)
+* :mod:`repro.experiments.end_to_end` — Table 2 + Figure 5 (end-to-end
+  comparison and cross-over curves)
+* :mod:`repro.experiments.factor_analysis` — Figure 6
+* :mod:`repro.experiments.lesion` — Figure 7
+* :mod:`repro.experiments.fusion_ablation` — §6.6 fusion / feature-
+  materialization comparison
+* :mod:`repro.experiments.lf_comparison` — §6.7.1 automatic vs manual
+  LF generation
+* :mod:`repro.experiments.label_prop` — Table 3 (label-propagation lift)
+
+All experiments accept ``scale`` (corpus-size multiplier) and ``seed``,
+return structured result objects, and render text tables mirroring the
+paper's layout.
+"""
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.reporting import render_table
+from repro.experiments.table1 import run_table1
+from repro.experiments.end_to_end import run_figure5, run_table2, run_task_end_to_end
+from repro.experiments.factor_analysis import run_figure6
+from repro.experiments.lesion import run_figure7
+from repro.experiments.fusion_ablation import run_fusion_ablation
+from repro.experiments.label_prop import run_table3, run_table3_task
+from repro.experiments.lf_comparison import run_lf_comparison
+from repro.experiments.ablations import run_all_ablations
+
+__all__ = [
+    "ExperimentContext",
+    "render_table",
+    "run_all_ablations",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_fusion_ablation",
+    "run_lf_comparison",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table3_task",
+    "run_task_end_to_end",
+]

@@ -1,0 +1,97 @@
+"""Command-line experiment runner.
+
+Regenerate any of the paper's tables/figures from the shell:
+
+    python -m repro.experiments table1  --scale 0.4 --seed 1
+    python -m repro.experiments table2  --tasks CT1 CT3
+    python -m repro.experiments table3
+    python -m repro.experiments figure5
+    python -m repro.experiments figure6
+    python -m repro.experiments figure7
+    python -m repro.experiments fusion
+    python -m repro.experiments lf
+    python -m repro.experiments ablations
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.ablations import render_ablations, run_all_ablations
+from repro.experiments.end_to_end import run_figure5, run_table2
+from repro.experiments.factor_analysis import run_figure6
+from repro.experiments.fusion_ablation import run_fusion_ablation
+from repro.experiments.label_prop import run_table3
+from repro.experiments.lesion import run_figure7
+from repro.experiments.lf_comparison import run_lf_comparison
+from repro.experiments.table1 import run_table1
+
+_EXPERIMENTS = (
+    "table1", "table2", "table3", "figure5", "figure6", "figure7",
+    "fusion", "lf", "ablations",
+)
+
+
+def _run_one(name: str, args: argparse.Namespace) -> str:
+    scale, seed = args.scale, args.seed
+    if name == "table1":
+        return run_table1(scale=scale, seed=seed).render()
+    if name == "table2":
+        return run_table2(
+            tasks=args.tasks or None, scale=scale, seed=seed,
+            n_model_seeds=args.model_seeds,
+        ).render()
+    if name == "table3":
+        return run_table3(
+            tasks=args.tasks or None, scale=scale, seed=seed,
+            n_model_seeds=args.model_seeds,
+        ).render()
+    if name == "figure5":
+        return run_figure5(scale=scale, seed=seed,
+                           n_model_seeds=args.model_seeds).render()
+    if name == "figure6":
+        return run_figure6(scale=scale, seed=seed,
+                           n_model_seeds=args.model_seeds).render()
+    if name == "figure7":
+        return run_figure7(scale=scale, seed=seed,
+                           n_model_seeds=args.model_seeds).render()
+    if name == "fusion":
+        return run_fusion_ablation(scale=scale, seed=seed).render()
+    if name == "lf":
+        return run_lf_comparison(scale=scale, seed=seed).render()
+    if name == "ablations":
+        return render_ablations(run_all_ablations(scale=scale, seed=seed))
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment", choices=(*_EXPERIMENTS, "all"),
+        help="which artifact to regenerate",
+    )
+    parser.add_argument("--scale", type=float, default=0.4,
+                        help="corpus-size multiplier (default 0.4)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--model-seeds", type=int, default=2,
+                        help="model seeds averaged per measurement")
+    parser.add_argument("--tasks", nargs="*", default=None,
+                        help="task subset for table2/table3 (e.g. CT1 CT3)")
+    args = parser.parse_args(argv)
+
+    names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        t0 = time.perf_counter()
+        print(_run_one(name, args))
+        print(f"[{name}: {time.perf_counter() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,254 @@
+"""Table 2 and Figure 5 — end-to-end comparison and cross-over curves.
+
+Table 2: for each task, the AUPRC (relative to the embedding-only fully
+supervised baseline) of a fully-supervised text model, a weakly
+supervised image model, and the cross-modal model — plus the number of
+hand-labeled image examples a fully supervised model needs to beat the
+cross-modal pipeline (the "cross-over" point).
+
+Figure 5 (CT 1): the full fully-supervised learning curve against the
+flat cross-modal line, in two regimes — all four service sets servable
+(top), and only sets A+B servable while LFs still use ABCD including
+the nonservable features (bottom).  The bottom regime's larger
+cross-over is the paper's evidence that nonservable features matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.config import PipelineConfig
+from repro.experiments.common import (
+    ExperimentContext,
+    find_crossover,
+    fusion_auprc,
+    modality_feature_names,
+    supervised_sweep,
+)
+from repro.datagen.entities import Modality
+from repro.datagen.tasks import list_tasks
+from repro.experiments.reporting import render_table
+
+__all__ = [
+    "TaskEndToEnd",
+    "Table2Result",
+    "Figure5Result",
+    "run_task_end_to_end",
+    "run_table2",
+    "run_figure5",
+    "PAPER_TABLE2",
+    "default_budgets",
+]
+
+#: the paper's Table 2 (relative AUPRC; cross-over in hand-labels)
+PAPER_TABLE2 = {
+    "CT1": {"text": 1.12, "image": 1.43, "cross": 1.52, "crossover": 60_000},
+    "CT2": {"text": 1.49, "image": 2.32, "cross": 2.43, "crossover": 50_000},
+    "CT3": {"text": 0.88, "image": 0.95, "cross": 1.14, "crossover": 5_000},
+    "CT4": {"text": 1.74, "image": 2.00, "cross": 2.45, "crossover": 4_000},
+    "CT5": {"text": 1.67, "image": 2.03, "cross": 2.42, "crossover": 750_000},
+}
+
+
+def default_budgets(pool_size: int) -> list[int]:
+    """Hand-label budgets for the supervised sweep (prefixes of pool).
+
+    The full pool is always the last point so the cross-over search sees
+    the best fully-supervised model the data supports.
+    """
+    budgets = [b for b in (100, 250, 500, 1000, 2000, 4000, 8000) if b < pool_size]
+    budgets.append(pool_size)
+    return budgets
+
+
+@dataclass
+class TaskEndToEnd:
+    """End-to-end measurements for one task."""
+
+    task: str
+    baseline_auprc: float
+    text_auprc: float
+    image_auprc: float
+    cross_auprc: float
+    budgets: list[int]
+    supervised: list[float]
+    crossover: int | None
+
+    @property
+    def text_relative(self) -> float:
+        return self.text_auprc / self.baseline_auprc
+
+    @property
+    def image_relative(self) -> float:
+        return self.image_auprc / self.baseline_auprc
+
+    @property
+    def cross_relative(self) -> float:
+        return self.cross_auprc / self.baseline_auprc
+
+
+@dataclass
+class Table2Result:
+    """Measured Table 2 across tasks."""
+
+    tasks: list[TaskEndToEnd]
+    scale: float
+    seed: int
+
+    def render(self) -> str:
+        rows = []
+        for t in self.tasks:
+            paper = PAPER_TABLE2[t.task]
+            rows.append(
+                [
+                    t.task,
+                    round(t.text_relative, 2),
+                    round(t.image_relative, 2),
+                    round(t.cross_relative, 2),
+                    t.crossover if t.crossover is not None else f">{t.budgets[-1]}",
+                    f"{paper['text']}/{paper['image']}/{paper['cross']}",
+                    paper["crossover"],
+                ]
+            )
+        return render_table(
+            ["Task", "Text", "Image", "Cross-Modal", "Cross-Over",
+             "paper T/I/X", "paper X-over"],
+            rows,
+            title=f"Table 2 — relative AUPRC (scale={self.scale}, seed={self.seed})",
+        )
+
+
+def run_task_end_to_end(
+    ctx: ExperimentContext,
+    budgets: list[int] | None = None,
+    n_model_seeds: int = 2,
+) -> TaskEndToEnd:
+    """Measure text / image / cross-modal models and the supervised
+    sweep for one task context."""
+    if budgets is None:
+        budgets = default_budgets(ctx.pool_table.n_rows)
+    text = fusion_auprc(ctx, text_sets=("A", "B", "C", "D"), image_sets=None,
+                        n_model_seeds=n_model_seeds)
+    image = fusion_auprc(ctx, text_sets=None, image_sets=("A", "B", "C", "D"),
+                         n_model_seeds=n_model_seeds)
+    cross = fusion_auprc(ctx, n_model_seeds=n_model_seeds)
+    sup_features = modality_feature_names(
+        ctx, ("A", "B", "C", "D"), Modality.IMAGE
+    )
+    sweep = supervised_sweep(ctx, budgets, sup_features, n_model_seeds=n_model_seeds)
+    return TaskEndToEnd(
+        task=ctx.task_name,
+        baseline_auprc=ctx.baseline_auprc,
+        text_auprc=text,
+        image_auprc=image,
+        cross_auprc=cross,
+        budgets=budgets,
+        supervised=sweep,
+        crossover=find_crossover(budgets, sweep, cross),
+    )
+
+
+def run_table2(
+    tasks: list[str] | None = None,
+    scale: float = 0.5,
+    seed: int = 1,
+    budgets: list[int] | None = None,
+    n_model_seeds: int = 2,
+) -> Table2Result:
+    """Run the end-to-end comparison over all (or selected) tasks."""
+    results = []
+    for task_name in tasks or list_tasks():
+        ctx = ExperimentContext(task_name=task_name, scale=scale, seed=seed)
+        results.append(run_task_end_to_end(ctx, budgets, n_model_seeds))
+    return Table2Result(tasks=results, scale=scale, seed=seed)
+
+
+@dataclass
+class Figure5Result:
+    """The two cross-over curves of Figure 5 (CT 1)."""
+
+    budgets: list[int]
+    supervised_full: list[float]
+    cross_modal_full: float
+    crossover_full: int | None
+    supervised_servable: list[float]
+    cross_modal_servable: float
+    crossover_servable: int | None
+    baseline_auprc: float
+    scale: float
+    seed: int
+
+    def render(self) -> str:
+        rows = []
+        for i, budget in enumerate(self.budgets):
+            rows.append(
+                [
+                    budget,
+                    round(self.supervised_full[i] / self.baseline_auprc, 2),
+                    round(self.cross_modal_full / self.baseline_auprc, 2),
+                    round(self.supervised_servable[i] / self.baseline_auprc, 2),
+                    round(self.cross_modal_servable / self.baseline_auprc, 2),
+                ]
+            )
+        table = render_table(
+            ["hand-labels", "sup ABCD", "cross ABCD", "sup AB", "cross AB(+ABCD LFs)"],
+            rows,
+            title=(
+                f"Figure 5 — relative AUPRC vs hand-label budget "
+                f"(scale={self.scale}, seed={self.seed})"
+            ),
+        )
+        notes = (
+            f"\ncross-over (ABCD servable): {self.crossover_full}"
+            f"\ncross-over (AB servable, ABCD LFs): {self.crossover_servable}"
+            "\npaper: 60k (top, all sets) vs 140k (bottom, two sets)"
+        )
+        return table + notes
+
+
+def run_figure5(
+    scale: float = 0.5,
+    seed: int = 1,
+    budgets: list[int] | None = None,
+    n_model_seeds: int = 2,
+) -> Figure5Result:
+    """Reproduce Figure 5 on CT 1.
+
+    Top: both the supervised model and the cross-modal model use all
+    four service sets.  Bottom: both are restricted to servable sets
+    A+B, while LFs still mine over ABCD (nonservable simulation).
+    """
+    ctx = ExperimentContext(task_name="CT1", scale=scale, seed=seed)
+    if budgets is None:
+        budgets = default_budgets(ctx.pool_table.n_rows)
+
+    # top regime: ABCD servable everywhere
+    cross_full = fusion_auprc(ctx, n_model_seeds=n_model_seeds)
+    sup_features_full = modality_feature_names(ctx, ("A", "B", "C", "D"), Modality.IMAGE)
+    sweep_full = supervised_sweep(ctx, budgets, sup_features_full, n_model_seeds)
+
+    # bottom regime: A+B servable, LFs over ABCD (the default lf sets)
+    servable_config = replace(
+        ctx.config if ctx.config is not None else PipelineConfig(seed=seed),
+        model_service_sets=("A", "B"),
+    )
+    ctx_servable = ctx.with_config(servable_config)
+    cross_servable = fusion_auprc(
+        ctx_servable, text_sets=("A", "B"), image_sets=("A", "B"),
+        n_model_seeds=n_model_seeds,
+    )
+    sup_features_servable = modality_feature_names(ctx, ("A", "B"), Modality.IMAGE)
+    sweep_servable = supervised_sweep(ctx, budgets, sup_features_servable, n_model_seeds)
+
+    return Figure5Result(
+        budgets=budgets,
+        supervised_full=sweep_full,
+        cross_modal_full=cross_full,
+        crossover_full=find_crossover(budgets, sweep_full, cross_full),
+        supervised_servable=sweep_servable,
+        cross_modal_servable=cross_servable,
+        crossover_servable=find_crossover(budgets, sweep_servable, cross_servable),
+        baseline_auprc=ctx.baseline_auprc,
+        scale=scale,
+        seed=seed,
+    )

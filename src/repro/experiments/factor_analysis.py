@@ -1,0 +1,104 @@
+"""Figure 6 — organizational-resources factor analysis (CT 1).
+
+Starting from a text-only model with service set A, service sets are
+added alternately to the text modality and the (weakly supervised)
+image modality, retraining the early-fusion model at each step.  The
+paper's reading: AUPRC grows as resources are added, and adding a new
+feature set typically helps more than extending an existing set to the
+other modality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import ExperimentContext, fusion_auprc
+from repro.experiments.reporting import render_bars, render_table
+
+__all__ = ["Figure6Result", "run_figure6", "PAPER_FIGURE6", "FACTOR_STEPS"]
+
+#: (text sets, image sets or None) per step, in the paper's order
+FACTOR_STEPS: list[tuple[tuple[str, ...], tuple[str, ...] | None]] = [
+    (("A",), None),
+    (("A",), ("A",)),
+    (("A", "B"), ("A",)),
+    (("A", "B"), ("A", "B")),
+    (("A", "B", "C"), ("A", "B")),
+    (("A", "B", "C"), ("A", "B", "C")),
+    (("A", "B", "C", "D"), ("A", "B", "C")),
+    (("A", "B", "C", "D"), ("A", "B", "C", "D")),
+]
+
+#: the paper's Figure 6 bar values (relative AUPRC)
+PAPER_FIGURE6 = [0.22, 1.08, 1.14, 1.24, 1.41, 1.43, 1.52, 1.52]
+
+
+def _step_label(text_sets: tuple[str, ...], image_sets: tuple[str, ...] | None) -> str:
+    text = "T+" + "".join(text_sets)
+    image = "no image" if image_sets is None else "I+" + "".join(image_sets)
+    return f"{text} / {image}"
+
+
+@dataclass
+class Figure6Result:
+    """Relative AUPRC per factor-analysis step."""
+
+    labels: list[str]
+    relative_auprc: list[float]
+    baseline_auprc: float
+    scale: float
+    seed: int
+
+    def render(self) -> str:
+        rows = [
+            [label, round(value, 2), paper]
+            for label, value, paper in zip(
+                self.labels, self.relative_auprc, PAPER_FIGURE6
+            )
+        ]
+        table = render_table(
+            ["Step", "relative AUPRC", "paper"],
+            rows,
+            title=f"Figure 6 — factor analysis CT1 (scale={self.scale}, seed={self.seed})",
+        )
+        bars = render_bars(
+            self.labels, self.relative_auprc, reference=1.0,
+            title="(| marks the embedding baseline, relative AUPRC 1.0)",
+        )
+        return table + "\n\n" + bars
+
+    def monotone_violations(self, tolerance: float = 0.05) -> int:
+        """Number of steps where AUPRC drops by more than ``tolerance``
+        (the paper's curve is near-monotone)."""
+        violations = 0
+        for prev, cur in zip(self.relative_auprc, self.relative_auprc[1:]):
+            if cur < prev - tolerance:
+                violations += 1
+        return violations
+
+
+def run_figure6(
+    scale: float = 0.5, seed: int = 1, n_model_seeds: int = 2
+) -> Figure6Result:
+    """Run the Figure-6 factor analysis on CT 1.
+
+    Weak supervision always uses the full ABCD LF suite (as in the
+    paper); only the discriminative model's feature sets vary by step.
+    """
+    ctx = ExperimentContext(task_name="CT1", scale=scale, seed=seed)
+    labels = []
+    values = []
+    for text_sets, image_sets in FACTOR_STEPS:
+        labels.append(_step_label(text_sets, image_sets))
+        value = fusion_auprc(
+            ctx, text_sets=text_sets, image_sets=image_sets,
+            n_model_seeds=n_model_seeds,
+        )
+        values.append(ctx.relative(value))
+    return Figure6Result(
+        labels=labels,
+        relative_auprc=values,
+        baseline_auprc=ctx.baseline_auprc,
+        scale=scale,
+        seed=seed,
+    )

@@ -1,0 +1,252 @@
+"""§6.7.1 — automatic vs manual labeling-function generation (CT 1).
+
+The paper's ground-truth team hand-built LFs for CT 1 (7 hours spread
+over two weeks); the automatic pipeline needed 14 minutes of itemset
+mining (plus 3.75 h of label propagation in parallel) and beat the
+experts by 2.7 F1 points with a 3 % coverage gain.
+
+Here the expert is simulated (see :mod:`repro.mining.expert`): it knows
+a configurable fraction of the task concept and writes multi-feature
+LFs, billing time from a cost model calibrated to the paper's report.
+Mining time is *measured* wall-clock; expert time is the cost model's
+output.  Both LF suites are restricted to English-language posts for a
+representative comparison, as in the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import ExperimentContext, model_auprc, train_table_model
+from repro.experiments.reporting import render_table
+from repro.labeling.analysis import weak_label_quality
+from repro.labeling.label_model import GenerativeLabelModel, conditional_table
+from repro.labeling.matrix import apply_lfs
+from repro.mining.expert import SimulatedExpert
+from repro.mining.lf_generator import MinedLFGenerator
+
+__all__ = ["LFSuiteQuality", "LFComparisonResult", "run_lf_comparison"]
+
+
+@dataclass
+class LFSuiteQuality:
+    """Quality and cost of one LF suite."""
+
+    origin: str
+    n_lfs: int
+    hours: float
+    precision: float
+    recall: float
+    f1: float
+    coverage: float
+    end_auprc: float
+
+
+@dataclass
+class LFComparisonResult:
+    mined: LFSuiteQuality
+    expert: LFSuiteQuality
+    scale: float
+    seed: int
+    snuba: LFSuiteQuality | None = None
+
+    @property
+    def speedup(self) -> float:
+        return self.expert.hours / max(self.mined.hours, 1e-6)
+
+    @property
+    def f1_delta_points(self) -> float:
+        return 100.0 * (self.mined.f1 - self.expert.f1)
+
+    def render(self) -> str:
+        rows = []
+        suites = [self.mined, self.expert]
+        if self.snuba is not None:
+            suites.append(self.snuba)
+        for suite in suites:
+            rows.append(
+                [
+                    suite.origin,
+                    suite.n_lfs,
+                    round(suite.hours, 2),
+                    round(suite.precision, 3),
+                    round(suite.recall, 3),
+                    round(suite.f1, 3),
+                    round(suite.coverage, 3),
+                    round(suite.end_auprc, 3),
+                ]
+            )
+        table = render_table(
+            ["LFs", "n", "hours", "precision", "recall", "F1", "coverage", "end AUPRC"],
+            rows,
+            title=(
+                f"§6.7.1 automatic vs manual LF generation, CT1 "
+                f"(scale={self.scale}, seed={self.seed})"
+            ),
+        )
+        notes = (
+            f"\nspeedup: {self.speedup:.2f}x (paper: 1.87x)"
+            f"\nF1 delta: {self.f1_delta_points:+.1f} points (paper: +2.7)"
+        )
+        return table + notes
+
+
+def _english_rows(table) -> np.ndarray:
+    """Row indices whose language feature contains "en"."""
+    column = table.column("language")
+    return np.array(
+        [i for i, v in enumerate(column) if v is not None and "en" in v],
+        dtype=np.int64,
+    )
+
+
+def _suite_quality(
+    origin: str,
+    lfs,
+    hours: float,
+    dev_table,
+    eval_table,
+    image_table,
+    proba_threshold_prior: float,
+    ctx: ExperimentContext,
+) -> LFSuiteQuality:
+    """Fit the generative model over image votes (anchored on dev) and
+    score the suite on a held-out labeled text slice, then train the end
+    image model on the resulting probabilistic labels."""
+    dev_matrix = apply_lfs(lfs, dev_table)
+    image_matrix = apply_lfs(lfs, image_table)
+    anchors = conditional_table(dev_matrix.votes, dev_table.labels)
+    label_model = GenerativeLabelModel(class_balance=proba_threshold_prior)
+    label_model.fit(image_matrix, accuracy_anchors=anchors, anchor_strength=25.0)
+
+    eval_matrix = apply_lfs(lfs, eval_table)
+    eval_proba = label_model.predict_proba(eval_matrix)
+    quality = weak_label_quality(
+        eval_proba, eval_table.labels, prior=proba_threshold_prior
+    )
+
+    image_proba = label_model.predict_proba(image_matrix)
+    covered = (image_matrix.votes != 0).any(axis=1)
+    if covered.sum() < 20:
+        end_auprc = 0.0
+    else:
+        features = [
+            s.name
+            for s in ctx.pipeline.schema
+            if s.servable and s.service_set in ("A", "B", "C", "D", "IMG")
+        ]
+        model = train_table_model(
+            image_table.select_rows(np.flatnonzero(covered)),
+            image_proba[covered],
+            features,
+            seed=ctx.model_seed(f"lfcmp-{origin}"),
+        )
+        end_auprc = model_auprc(model, ctx.test_table, ctx.test_table.labels)
+    return LFSuiteQuality(
+        origin=origin,
+        n_lfs=len(lfs),
+        hours=hours,
+        precision=quality.precision,
+        recall=quality.recall,
+        f1=quality.f1,
+        coverage=quality.coverage,
+        end_auprc=end_auprc,
+    )
+
+
+def run_lf_comparison(
+    scale: float = 0.5,
+    seed: int = 1,
+    expert_knowledge: float = 0.55,
+    n_expert_lfs: int = 10,
+    include_snuba: bool = True,
+) -> LFComparisonResult:
+    """Compare mined and simulated-expert LFs on CT 1 (English slice)."""
+    ctx = ExperimentContext(task_name="CT1", scale=scale, seed=seed)
+    text = ctx.text_table
+    english = _english_rows(text)
+    english_table = text.select_rows(english)
+    dev_table, eval_table = _split_rows(english_table, fraction=0.6, seed=seed)
+
+    prior = float(np.clip(dev_table.labels.mean(), 1e-4, 0.5))
+    lf_features = [
+        n for n in ctx.pipeline.lf_feature_schema().names if n in text.schema
+    ]
+
+    # --- automatic ----------------------------------------------------
+    generator = MinedLFGenerator()
+    t0 = time.perf_counter()
+    mined_lfs = generator.generate(
+        dev_table.select_features(lf_features), features=lf_features
+    )
+    mining_seconds = time.perf_counter() - t0
+    # The paper bills the automatic path at wall-clock on production
+    # infrastructure (14 min of mining over tens of millions of rows).
+    # We report the hours a single machine would need at the paper's
+    # corpus size, projected linearly from the measured per-row cost —
+    # this is what makes the speedup comparable to the paper's 1.87x.
+    paper_corpus_rows = 18_000_000
+    mined_hours = (
+        mining_seconds * (paper_corpus_rows / max(dev_table.n_rows, 1)) / 3600.0
+    )
+
+    # --- manual (simulated) -------------------------------------------
+    expert = SimulatedExpert(
+        ctx.task.definition,
+        knowledge_fraction=expert_knowledge,
+        seed=seed,
+    )
+    expert_lfs = expert.write_lfs(
+        n_topics_universe=ctx.world.config.n_topics,
+        n_keywords_universe=ctx.world.config.n_keywords,
+        n_lfs=n_expert_lfs,
+    )
+    assert expert.report_ is not None
+    expert_hours = expert.report_.hours_spent
+
+    mined_quality = _suite_quality(
+        "mined", mined_lfs, mined_hours, dev_table, eval_table,
+        ctx.image_table, prior, ctx,
+    )
+    expert_quality = _suite_quality(
+        "expert", expert_lfs, expert_hours, dev_table, eval_table,
+        ctx.image_table, prior, ctx,
+    )
+
+    # Snuba-style iterative synthesis (the alternative the paper found
+    # "too costly to immediately integrate", §4.3) for reference.
+    snuba_quality = None
+    if include_snuba:
+        from repro.mining.snuba import SnubaGenerator
+
+        synthesizer = SnubaGenerator()
+        snuba_lfs = synthesizer.generate(
+            dev_table.select_features(lf_features), features=lf_features
+        )
+        assert synthesizer.report_ is not None
+        snuba_hours = (
+            synthesizer.report_.wall_clock_seconds
+            * (paper_corpus_rows / max(dev_table.n_rows, 1))
+            / 3600.0
+        )
+        snuba_quality = _suite_quality(
+            "snuba", snuba_lfs, snuba_hours, dev_table, eval_table,
+            ctx.image_table, prior, ctx,
+        )
+    return LFComparisonResult(
+        mined=mined_quality, expert=expert_quality, scale=scale, seed=seed,
+        snuba=snuba_quality,
+    )
+
+
+def _split_rows(table, fraction: float, seed: int):
+    """Deterministic random row split of a feature table."""
+    rng = np.random.default_rng(seed)
+    idx = rng.permutation(table.n_rows)
+    cut = int(fraction * table.n_rows)
+    first = table.select_rows(np.sort(idx[:cut]))
+    second = table.select_rows(np.sort(idx[cut:]))
+    return first, second

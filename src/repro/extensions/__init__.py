@@ -1,0 +1,31 @@
+"""Extensions the paper sketches beyond the core pipeline.
+
+§6.4 notes that the rapid initial cross-modal deployment "can be
+augmented via techniques for active learning or self-training on the
+order of days"; §7.3 proposes domain adaptation "as a primitive to help
+balance between the data modalities"; §7.4 describes running candidate
+models in parallel and comparing them with sampled human review.  This
+subpackage implements those follow-ups:
+
+* :mod:`repro.extensions.self_training` — confident-prediction
+  self-training rounds on top of a trained cross-modal model;
+* :mod:`repro.extensions.domain_adaptation` — importance weighting of
+  old-modality rows toward the new modality's feature distribution
+  (discriminator-based covariate-shift correction);
+* :mod:`repro.extensions.monitoring` — production-style model
+  comparison via mixed random + disagreement sampling and a simulated
+  human review queue.
+"""
+
+from repro.extensions.self_training import SelfTrainer, SelfTrainingReport
+from repro.extensions.domain_adaptation import modality_importance_weights
+from repro.extensions.monitoring import ModelComparison, ReviewQueue, compare_models
+
+__all__ = [
+    "ModelComparison",
+    "ReviewQueue",
+    "SelfTrainer",
+    "SelfTrainingReport",
+    "compare_models",
+    "modality_importance_weights",
+]

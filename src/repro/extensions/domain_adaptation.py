@@ -1,0 +1,89 @@
+"""Domain adaptation between modalities (paper §7.3).
+
+The paper hypothesizes that "using methods for domain adaptation with
+our methods may further boost performance": the common feature space
+makes modalities comparable, but their input distributions differ, so
+old-modality rows should be *reweighted* toward the new modality's
+distribution before training (classic covariate-shift correction,
+cf. CrossTrainer [Chen et al. 2019], the authors' own loss-reweighting
+system).
+
+``modality_importance_weights`` trains a logistic discriminator to tell
+old-modality rows from new-modality rows over the shared features and
+converts its odds into importance weights
+w(x) = P(new | x) / P(old | x) (clipped) — rows of the old modality
+that look like the new modality count more.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.features.table import FeatureTable
+from repro.features.vectorize import Vectorizer
+from repro.models.linear import LogisticRegression
+
+__all__ = ["modality_importance_weights"]
+
+
+def modality_importance_weights(
+    old_table: FeatureTable,
+    new_table: FeatureTable,
+    features: list[str] | None = None,
+    clip: tuple[float, float] = (0.1, 10.0),
+    seed: int = 0,
+) -> np.ndarray:
+    """Importance weights for ``old_table`` rows under the new
+    modality's feature distribution.
+
+    Parameters
+    ----------
+    old_table / new_table:
+        Feature tables of the two modalities.  Only features present in
+        *both* schemas are used (the shared feature space).
+    features:
+        Optional explicit shared-feature list.
+    clip:
+        (low, high) clip range for the weights; extreme ratios get
+        truncated so a few outliers cannot dominate the loss.
+
+    Returns
+    -------
+    Array of length ``old_table.n_rows``, mean-normalized to 1.
+    """
+    if clip[0] <= 0 or clip[1] <= clip[0]:
+        raise ConfigurationError(f"invalid clip range {clip}")
+    if features is None:
+        # genuinely shared features only: a column that is always
+        # missing on one side would let the discriminator separate the
+        # modalities from presence bits alone
+        features = [
+            n
+            for n in old_table.schema.names
+            if n in new_table.schema
+            and old_table.presence_fraction(n) > 0.05
+            and new_table.presence_fraction(n) > 0.05
+        ]
+    if not features:
+        raise ConfigurationError("no shared features between the tables")
+
+    old_sel = old_table.select_features(features)
+    new_sel = new_table.select_features(
+        [n for n in features if n in new_table.schema]
+    )
+    joint = old_sel.concat(new_sel)
+    vectorizer = Vectorizer(joint.schema).fit(joint)
+    X = vectorizer.transform(joint)
+    domain = np.concatenate(
+        [np.zeros(old_sel.n_rows), np.ones(new_sel.n_rows)]
+    )
+    discriminator = LogisticRegression(seed=seed, n_epochs=200)
+    discriminator.fit(X, domain)
+
+    p_new = discriminator.predict_proba(X[: old_sel.n_rows])
+    # correct for the domain size prior so balanced corpora get ratio 1
+    prior_ratio = old_sel.n_rows / max(new_sel.n_rows, 1)
+    ratio = p_new / np.clip(1.0 - p_new, 1e-6, None) * prior_ratio
+    weights = np.clip(ratio, clip[0], clip[1])
+    return weights / weights.mean()

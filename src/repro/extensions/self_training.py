@@ -1,0 +1,135 @@
+"""Self-training on top of the cross-modal model (paper §6.4).
+
+After the weakly-supervised model deploys, its own confident
+predictions on fresh unlabeled traffic become additional training
+signal: points scored above a high percentile are pseudo-labeled
+positive, points below a low percentile negative, and the model
+retrains with both the original curated data and the pseudo-labels
+[Rosenberg et al. 2005].  Percentile (rather than absolute) thresholds
+keep the pseudo-label volume stable under class imbalance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.features.table import FeatureTable
+
+__all__ = ["SelfTrainer", "SelfTrainingReport"]
+
+
+@dataclass
+class SelfTrainingReport:
+    """What each self-training round added."""
+
+    rounds: list[dict[str, float]] = field(default_factory=list)
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    def total_pseudo_labels(self) -> int:
+        return int(sum(r["n_pseudo"] for r in self.rounds))
+
+
+class SelfTrainer:
+    """Iterative confident-prediction self-training.
+
+    Parameters
+    ----------
+    model_factory:
+        Builds a fresh fusion model per round; it must implement
+        ``fit(tables, targets, sample_weights)`` and
+        ``predict_proba(table)`` (e.g. a lambda returning
+        :class:`~repro.models.fusion.EarlyFusion`).
+    positive_percentile / negative_percentile:
+        Scores above/below these percentiles of the unlabeled pool
+        become pseudo-positive / pseudo-negative.
+    pseudo_weight:
+        Sample weight of pseudo-labeled points relative to curated ones
+        (pseudo-labels are noisier, so they count less).
+    n_rounds:
+        Number of self-training iterations.
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable[[], object],
+        positive_percentile: float = 99.0,
+        negative_percentile: float = 50.0,
+        pseudo_weight: float = 0.5,
+        n_rounds: int = 2,
+    ) -> None:
+        if not 50.0 < positive_percentile < 100.0:
+            raise ConfigurationError(
+                "positive_percentile must be in (50, 100)"
+            )
+        if not 0.0 < negative_percentile < positive_percentile:
+            raise ConfigurationError(
+                "negative_percentile must be in (0, positive_percentile)"
+            )
+        if n_rounds < 1:
+            raise ConfigurationError("n_rounds must be >= 1")
+        self.model_factory = model_factory
+        self.positive_percentile = positive_percentile
+        self.negative_percentile = negative_percentile
+        self.pseudo_weight = pseudo_weight
+        self.n_rounds = n_rounds
+        self.report_: SelfTrainingReport | None = None
+        self.model_: object | None = None
+
+    def fit(
+        self,
+        base_tables: Sequence[FeatureTable],
+        base_targets: Sequence[np.ndarray],
+        unlabeled_table: FeatureTable,
+    ) -> "SelfTrainer":
+        """Train with ``n_rounds`` of pseudo-labeling over
+        ``unlabeled_table`` (fresh traffic the curation step never saw).
+        """
+        report = SelfTrainingReport()
+        model = self.model_factory()
+        model.fit(list(base_tables), [np.asarray(t, float) for t in base_targets])
+
+        for round_index in range(self.n_rounds):
+            scores = model.predict_proba(unlabeled_table)
+            hi = np.percentile(scores, self.positive_percentile)
+            lo = np.percentile(scores, self.negative_percentile)
+            pseudo_pos = scores >= hi
+            pseudo_neg = scores <= lo
+            chosen = pseudo_pos | pseudo_neg
+            if not chosen.any():
+                break
+            pseudo_table = unlabeled_table.select_rows(np.flatnonzero(chosen))
+            pseudo_targets = pseudo_pos[chosen].astype(float)
+            weights: list[np.ndarray | None] = [None] * len(base_tables)
+            weights.append(
+                np.full(int(chosen.sum()), self.pseudo_weight)
+            )
+            model = self.model_factory()
+            model.fit(
+                list(base_tables) + [pseudo_table],
+                [np.asarray(t, float) for t in base_targets] + [pseudo_targets],
+                weights,
+            )
+            report.rounds.append(
+                {
+                    "round": float(round_index),
+                    "n_pseudo": float(chosen.sum()),
+                    "n_pseudo_positive": float(pseudo_pos.sum()),
+                    "threshold_high": float(hi),
+                    "threshold_low": float(lo),
+                }
+            )
+        self.model_ = model
+        self.report_ = report
+        return self
+
+    def predict_proba(self, table: FeatureTable) -> np.ndarray:
+        if self.model_ is None:
+            raise ConfigurationError("SelfTrainer.fit has not been called")
+        return self.model_.predict_proba(table)

@@ -1,0 +1,24 @@
+"""Common structured feature space (paper §3).
+
+Organizational resources transform data points of any modality into
+categorical / quantitative / embedding features.  This subpackage holds
+the schema describing those features, a columnar :class:`FeatureTable`
+aligned with a corpus, vectorization into model-ready matrices, and the
+paper's Algorithm-1 pairwise similarity used by label propagation.
+"""
+
+from repro.features.schema import FeatureKind, FeatureSchema, FeatureSpec
+from repro.features.table import MISSING, FeatureTable
+from repro.features.vectorize import Vectorizer
+from repro.features.distance import SimilarityConfig, algorithm1_similarity
+
+__all__ = [
+    "FeatureKind",
+    "FeatureSchema",
+    "FeatureSpec",
+    "FeatureTable",
+    "MISSING",
+    "SimilarityConfig",
+    "Vectorizer",
+    "algorithm1_similarity",
+]

@@ -1,0 +1,134 @@
+"""Pairwise similarity between feature rows (paper Algorithm 1).
+
+The paper builds the label-propagation graph from per-feature
+contributions: Jaccard similarity for categorical features and a norm of
+the difference for numeric ones, with every feature's contribution
+normalized ("In practice, each feature's contribution is normalized in
+lines 5 and 7, which we omit for simplicity").  We implement the
+normalized form as a similarity in [0, 1]:
+
+* categorical — Jaccard similarity of the two value sets;
+* numeric — ``1 - |x_i - x_j| / range`` with the range estimated from a
+  reference table;
+* embedding — cosine similarity mapped to [0, 1].
+
+The final weight is the mean contribution over features present in both
+rows.  This module provides the literal pairwise function (used in tests
+and for small graphs); :mod:`repro.propagation.graph` provides the
+vectorized blockwise top-k version for real corpora.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.exceptions import GraphError
+from repro.features.schema import FeatureKind, FeatureSchema
+from repro.features.table import MISSING, FeatureTable
+
+__all__ = ["SimilarityConfig", "algorithm1_similarity", "numeric_ranges"]
+
+
+@dataclass(frozen=True)
+class SimilarityConfig:
+    """Configuration for Algorithm-1 similarity.
+
+    ``numeric_range`` maps numeric feature name -> value range used for
+    normalization; features without an entry fall back to
+    ``default_numeric_range``.  ``feature_weights`` optionally reweights
+    individual features (default 1.0 each).
+    """
+
+    numeric_range: dict[str, float] = field(default_factory=dict)
+    default_numeric_range: float = 1.0
+    feature_weights: dict[str, float] = field(default_factory=dict)
+
+    def range_for(self, name: str) -> float:
+        value = self.numeric_range.get(name, self.default_numeric_range)
+        if value <= 0:
+            raise GraphError(f"numeric range for {name!r} must be positive")
+        return value
+
+    def weight_for(self, name: str) -> float:
+        return self.feature_weights.get(name, 1.0)
+
+
+def numeric_ranges(table: FeatureTable, quantile: float = 0.99) -> dict[str, float]:
+    """Estimate per-feature normalization ranges from a reference table.
+
+    Uses an inter-quantile range so outliers do not flatten the
+    similarity of typical pairs.
+    """
+    ranges: dict[str, float] = {}
+    for spec in table.schema.by_kind(FeatureKind.NUMERIC):
+        values = np.array(
+            [float(v) for v in table.column(spec.name) if v is not MISSING]
+        )
+        if values.size == 0:
+            ranges[spec.name] = 1.0
+            continue
+        lo = float(np.quantile(values, 1.0 - quantile))
+        hi = float(np.quantile(values, quantile))
+        ranges[spec.name] = max(hi - lo, 1e-9)
+    return ranges
+
+
+def _categorical_similarity(a: frozenset, b: frozenset) -> float:
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    if union == 0:
+        return 1.0
+    return len(a & b) / union
+
+
+def _numeric_similarity(a: float, b: float, value_range: float) -> float:
+    return float(np.clip(1.0 - abs(a - b) / value_range, 0.0, 1.0))
+
+
+def _embedding_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    denom = float(np.linalg.norm(a) * np.linalg.norm(b))
+    if denom < 1e-12:
+        return 0.0
+    cosine = float(np.dot(a, b)) / denom
+    return 0.5 * (cosine + 1.0)
+
+
+def algorithm1_similarity(
+    row_i: dict[str, object],
+    row_j: dict[str, object],
+    schema: FeatureSchema,
+    config: SimilarityConfig | None = None,
+) -> float:
+    """Normalized Algorithm-1 weight between two feature rows.
+
+    Only features present in *both* rows contribute (the paper computes
+    weights over "the set of all features instantiated by F_i, F_j");
+    returns 0.0 when the rows share no features.
+    """
+    config = config or SimilarityConfig()
+    total = 0.0
+    weight_sum = 0.0
+    for spec in schema:
+        vi = row_i.get(spec.name, MISSING)
+        vj = row_j.get(spec.name, MISSING)
+        if vi is MISSING or vj is MISSING:
+            continue
+        if spec.kind is FeatureKind.CATEGORICAL:
+            sim = _categorical_similarity(vi, vj)  # type: ignore[arg-type]
+        elif spec.kind is FeatureKind.NUMERIC:
+            sim = _numeric_similarity(
+                float(vi), float(vj), config.range_for(spec.name)  # type: ignore[arg-type]
+            )
+        else:
+            sim = _embedding_similarity(
+                np.asarray(vi, dtype=float), np.asarray(vj, dtype=float)
+            )
+        w = config.weight_for(spec.name)
+        total += w * sim
+        weight_sum += w
+    if weight_sum == 0.0:
+        return 0.0
+    return total / weight_sum

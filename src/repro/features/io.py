@@ -1,0 +1,129 @@
+"""Serialization of feature tables (JSON-based, dependency-free).
+
+Production pipelines hand featurized tables between teams and steps
+(the split architecture's well-defined artifacts); this module gives
+the :class:`~repro.features.table.FeatureTable` a stable on-disk form.
+
+Format: a single JSON document with the schema, point ids, modalities,
+labels, and per-feature columns.  Embeddings are stored as nested
+lists; missing values as ``null``.  Round-trips exactly (floats via
+JSON's double precision).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.exceptions import SchemaError
+from repro.datagen.entities import Modality
+from repro.features.schema import FeatureKind, FeatureSchema, FeatureSpec
+from repro.features.table import MISSING, FeatureTable
+
+__all__ = ["save_table", "load_table", "table_to_dict", "table_from_dict"]
+
+_FORMAT_VERSION = 1
+
+
+def _spec_to_dict(spec: FeatureSpec) -> dict:
+    return {
+        "name": spec.name,
+        "kind": spec.kind.value,
+        "servable": spec.servable,
+        "service_set": spec.service_set,
+        "modalities": (
+            None
+            if spec.modalities is None
+            else sorted(m.value for m in spec.modalities)
+        ),
+        "description": spec.description,
+    }
+
+
+def _spec_from_dict(data: dict) -> FeatureSpec:
+    return FeatureSpec(
+        name=data["name"],
+        kind=FeatureKind(data["kind"]),
+        servable=data["servable"],
+        service_set=data["service_set"],
+        modalities=(
+            None
+            if data["modalities"] is None
+            else frozenset(Modality(m) for m in data["modalities"])
+        ),
+        description=data.get("description", ""),
+    )
+
+
+def _encode_value(kind: FeatureKind, value: object) -> object:
+    if value is MISSING:
+        return None
+    if kind is FeatureKind.CATEGORICAL:
+        return sorted(value)  # type: ignore[arg-type]
+    if kind is FeatureKind.NUMERIC:
+        return float(value)  # type: ignore[arg-type]
+    return np.asarray(value, dtype=float).tolist()
+
+
+def _decode_value(kind: FeatureKind, value: object) -> object:
+    if value is None:
+        return MISSING
+    if kind is FeatureKind.CATEGORICAL:
+        return frozenset(value)  # type: ignore[arg-type]
+    if kind is FeatureKind.NUMERIC:
+        return float(value)  # type: ignore[arg-type]
+    return np.asarray(value, dtype=float)
+
+
+def table_to_dict(table: FeatureTable) -> dict:
+    """JSON-serializable dictionary form of a feature table."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "schema": [_spec_to_dict(s) for s in table.schema],
+        "point_ids": table.point_ids.tolist(),
+        "modalities": [m.value for m in table.modalities],
+        "labels": None if table.labels is None else table.labels.tolist(),
+        "columns": {
+            spec.name: [
+                _encode_value(spec.kind, v) for v in table.column(spec.name)
+            ]
+            for spec in table.schema
+        },
+    }
+
+
+def table_from_dict(data: dict) -> FeatureTable:
+    """Inverse of :func:`table_to_dict`."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise SchemaError(f"unsupported feature-table format version {version!r}")
+    schema = FeatureSchema(_spec_from_dict(s) for s in data["schema"])
+    columns = {
+        spec.name: [
+            _decode_value(spec.kind, v) for v in data["columns"][spec.name]
+        ]
+        for spec in schema
+    }
+    return FeatureTable(
+        schema=schema,
+        columns=columns,
+        point_ids=data["point_ids"],
+        modalities=[Modality(m) for m in data["modalities"]],
+        labels=None if data["labels"] is None else np.asarray(data["labels"]),
+    )
+
+
+def save_table(table: FeatureTable, path: str | Path) -> None:
+    """Write a feature table to ``path`` as JSON."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(table_to_dict(table), handle)
+
+
+def load_table(path: str | Path) -> FeatureTable:
+    """Read a feature table written by :func:`save_table`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        return table_from_dict(json.load(handle))

@@ -1,0 +1,184 @@
+"""Feature schema: names, kinds, servability, and service-set grouping.
+
+The paper groups its 15 organizational-resource features into four
+service sets (A: URL-based, B: keyword-based, C: topic-model-based,
+D: page-content-based), marks two of them *nonservable* (usable for
+training-data curation but not in the deployed model), and gives images
+three extra modality-specific features.  :class:`FeatureSchema` encodes
+all of that so pipeline steps can select exactly the features an
+experiment calls for (e.g. "T + AB, LFs over ABCD").
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.core.exceptions import SchemaError
+from repro.datagen.entities import Modality
+
+__all__ = ["FeatureKind", "FeatureSpec", "FeatureSchema"]
+
+
+class FeatureKind(enum.Enum):
+    """The type of value a feature holds per data point."""
+
+    #: multivalent categorical: a (possibly empty) set of string tokens
+    CATEGORICAL = "categorical"
+    #: a single float
+    NUMERIC = "numeric"
+    #: a fixed-length float vector (pretrained embedding)
+    EMBEDDING = "embedding"
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """Description of one feature in the common feature space.
+
+    Attributes
+    ----------
+    name:
+        Unique feature name (also the owning resource's feature name).
+    kind:
+        Value type; see :class:`FeatureKind`.
+    servable:
+        Whether the feature can be computed at inference time.  The
+        paper uses nonservable features for labeling functions and label
+        propagation only (§4.1, §6.4).
+    service_set:
+        ``"A"``/``"B"``/``"C"``/``"D"`` per the paper, or another tag
+        for features outside the four sets (e.g. image-specific ones).
+    modalities:
+        Modalities the feature exists for, or ``None`` for all.
+    description:
+        Human-readable provenance.
+    """
+
+    name: str
+    kind: FeatureKind
+    servable: bool = True
+    service_set: str | None = None
+    modalities: frozenset[Modality] | None = None
+    description: str = ""
+
+    def available_for(self, modality: Modality) -> bool:
+        """Whether this feature exists for points of ``modality``."""
+        return self.modalities is None or modality in self.modalities
+
+
+class FeatureSchema:
+    """An ordered collection of :class:`FeatureSpec` with set algebra."""
+
+    def __init__(self, specs: Iterable[FeatureSpec] = ()) -> None:
+        self._specs: dict[str, FeatureSpec] = {}
+        for spec in specs:
+            self.add(spec)
+
+    def add(self, spec: FeatureSpec) -> None:
+        if spec.name in self._specs:
+            raise SchemaError(f"duplicate feature name {spec.name!r}")
+        self._specs[spec.name] = spec
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[FeatureSpec]:
+        return iter(self._specs.values())
+
+    def __getitem__(self, name: str) -> FeatureSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise SchemaError(f"unknown feature {name!r}") from None
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._specs)
+
+    def by_kind(self, kind: FeatureKind) -> list[FeatureSpec]:
+        return [s for s in self if s.kind is kind]
+
+    def subset(self, names: Iterable[str]) -> "FeatureSchema":
+        """Schema restricted to ``names`` (order follows this schema)."""
+        wanted = set(names)
+        unknown = wanted - set(self._specs)
+        if unknown:
+            raise SchemaError(f"unknown features: {sorted(unknown)}")
+        return FeatureSchema(s for s in self if s.name in wanted)
+
+    def select(
+        self,
+        service_sets: Iterable[str] | None = None,
+        servable_only: bool = False,
+        modality: Modality | None = None,
+        include_sets: Iterable[str] = (),
+    ) -> "FeatureSchema":
+        """Filter by service set / servability / modality availability.
+
+        ``service_sets=None`` keeps every set; otherwise only features
+        whose ``service_set`` is listed (plus any in ``include_sets``,
+        useful for always keeping e.g. image-specific features).
+        """
+        keep_sets = None if service_sets is None else set(service_sets) | set(include_sets)
+        specs = []
+        for spec in self:
+            if keep_sets is not None and spec.service_set not in keep_sets:
+                continue
+            if servable_only and not spec.servable:
+                continue
+            if modality is not None and not spec.available_for(modality):
+                continue
+            specs.append(spec)
+        return FeatureSchema(specs)
+
+    def service_sets(self) -> list[str]:
+        """Sorted distinct service-set tags present in the schema."""
+        return sorted({s.service_set for s in self if s.service_set is not None})
+
+    def union(self, other: "FeatureSchema") -> "FeatureSchema":
+        """Schema with this schema's features followed by new ones from
+        ``other`` (specs with the same name must be identical)."""
+        merged = FeatureSchema(self)
+        for spec in other:
+            if spec.name in merged:
+                if merged[spec.name] != spec:
+                    raise SchemaError(
+                        f"conflicting specs for feature {spec.name!r}"
+                    )
+                continue
+            merged.add(spec)
+        return merged
+
+    def validate_value(self, name: str, value: object) -> None:
+        """Raise :class:`SchemaError` if ``value`` is ill-typed for the
+        feature (``None`` — missing — is always allowed)."""
+        if value is None:
+            return
+        spec = self[name]
+        if spec.kind is FeatureKind.CATEGORICAL:
+            ok = isinstance(value, frozenset) and all(
+                isinstance(v, str) for v in value
+            )
+            if not ok:
+                raise SchemaError(
+                    f"feature {name!r} expects frozenset[str], got {type(value).__name__}"
+                )
+        elif spec.kind is FeatureKind.NUMERIC:
+            if not isinstance(value, (int, float)):
+                raise SchemaError(
+                    f"feature {name!r} expects a number, got {type(value).__name__}"
+                )
+        elif spec.kind is FeatureKind.EMBEDDING:
+            import numpy as np
+
+            if not isinstance(value, np.ndarray) or value.ndim != 1:
+                raise SchemaError(
+                    f"feature {name!r} expects a 1-D ndarray, got {type(value).__name__}"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FeatureSchema({self.names})"

@@ -1,0 +1,233 @@
+"""Columnar feature table, row-aligned with a corpus.
+
+The table is the hand-off artifact between the feature-generation step
+and everything downstream (LF application, itemset mining, label
+propagation, vectorization).  Missing values (a feature that does not
+exist for a point's modality) are stored as :data:`MISSING` (``None``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.exceptions import SchemaError
+from repro.datagen.entities import Modality
+from repro.features.schema import FeatureKind, FeatureSchema
+
+__all__ = ["MISSING", "FeatureTable"]
+
+#: sentinel for "feature not available for this point"
+MISSING = None
+
+
+class FeatureTable:
+    """Columnar container of feature values for one corpus.
+
+    Rows align 1:1 with the corpus the table was built from; ``labels``
+    (when present) are ground truth for development/test corpora and are
+    *never* populated for corpora the pipeline treats as unlabeled.
+    """
+
+    def __init__(
+        self,
+        schema: FeatureSchema,
+        columns: dict[str, list[object]],
+        point_ids: Sequence[int],
+        modalities: Sequence[Modality],
+        labels: np.ndarray | None = None,
+    ) -> None:
+        self.schema = schema
+        n_rows = len(point_ids)
+        for name in schema.names:
+            if name not in columns:
+                raise SchemaError(f"missing column for feature {name!r}")
+            if len(columns[name]) != n_rows:
+                raise SchemaError(
+                    f"column {name!r} has {len(columns[name])} rows, expected {n_rows}"
+                )
+        extra = set(columns) - set(schema.names)
+        if extra:
+            raise SchemaError(f"columns not in schema: {sorted(extra)}")
+        if labels is not None and len(labels) != n_rows:
+            raise SchemaError(
+                f"labels length {len(labels)} != row count {n_rows}"
+            )
+        self._columns = {name: list(columns[name]) for name in schema.names}
+        self.point_ids = np.asarray(point_ids, dtype=np.int64)
+        self.modalities = list(modalities)
+        self.labels = None if labels is None else np.asarray(labels, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.point_ids)
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.point_ids)
+
+    @property
+    def feature_names(self) -> list[str]:
+        return self.schema.names
+
+    def column(self, name: str) -> list[object]:
+        """The raw value list for feature ``name`` (do not mutate)."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SchemaError(f"unknown feature {name!r}") from None
+
+    def value(self, row: int, name: str) -> object:
+        return self.column(name)[row]
+
+    def row(self, index: int) -> dict[str, object]:
+        """Feature-name -> value mapping for one row."""
+        return {name: col[index] for name, col in self._columns.items()}
+
+    def iter_rows(self) -> Iterator[dict[str, object]]:
+        for i in range(self.n_rows):
+            yield self.row(i)
+
+    # ------------------------------------------------------------------
+    # selection
+    # ------------------------------------------------------------------
+    def select_features(self, names: Iterable[str]) -> "FeatureTable":
+        """Table restricted to ``names`` (schema order preserved)."""
+        sub_schema = self.schema.subset(names)
+        return FeatureTable(
+            schema=sub_schema,
+            columns={n: self._columns[n] for n in sub_schema.names},
+            point_ids=self.point_ids,
+            modalities=self.modalities,
+            labels=self.labels,
+        )
+
+    def select_schema(self, schema: FeatureSchema) -> "FeatureTable":
+        """Table restricted to the features present in ``schema``."""
+        return self.select_features(schema.names)
+
+    def select_rows(self, indices: Sequence[int] | np.ndarray) -> "FeatureTable":
+        """Table restricted to the given row indices (in given order)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return FeatureTable(
+            schema=self.schema,
+            columns={
+                name: [col[i] for i in idx] for name, col in self._columns.items()
+            },
+            point_ids=self.point_ids[idx],
+            modalities=[self.modalities[i] for i in idx],
+            labels=None if self.labels is None else self.labels[idx],
+        )
+
+    def with_labels(self, labels: np.ndarray | None) -> "FeatureTable":
+        """Copy of the table with ``labels`` attached (or detached)."""
+        return FeatureTable(
+            schema=self.schema,
+            columns=self._columns,
+            point_ids=self.point_ids,
+            modalities=self.modalities,
+            labels=labels,
+        )
+
+    def with_feature(self, spec, values: Sequence[object]) -> "FeatureTable":
+        """Copy of the table with one new feature column appended.
+
+        Used to attach derived, nonservable features (e.g. the label-
+        propagation score) to an existing table.
+        """
+        if len(values) != self.n_rows:
+            raise SchemaError(
+                f"new column has {len(values)} rows, expected {self.n_rows}"
+            )
+        schema = FeatureSchema(list(self.schema) + [spec])
+        columns = dict(self._columns)
+        columns[spec.name] = list(values)
+        return FeatureTable(
+            schema=schema,
+            columns=columns,
+            point_ids=self.point_ids,
+            modalities=self.modalities,
+            labels=self.labels,
+        )
+
+    def concat(self, other: "FeatureTable") -> "FeatureTable":
+        """Row-wise concatenation over the union of feature schemas.
+
+        Features absent from one side are filled with :data:`MISSING` —
+        this is exactly the paper's early-fusion table construction
+        ("features specific to certain data modalities are left empty").
+        Labels are kept only if both sides have them.
+        """
+        schema = self.schema.union(other.schema)
+        columns: dict[str, list[object]] = {}
+        for name in schema.names:
+            left = self._columns.get(name, [MISSING] * self.n_rows)
+            right = other._columns.get(name, [MISSING] * other.n_rows)
+            columns[name] = list(left) + list(right)
+        labels = None
+        if self.labels is not None and other.labels is not None:
+            labels = np.concatenate([self.labels, other.labels])
+        return FeatureTable(
+            schema=schema,
+            columns=columns,
+            point_ids=np.concatenate([self.point_ids, other.point_ids]),
+            modalities=self.modalities + other.modalities,
+            labels=labels,
+        )
+
+    # ------------------------------------------------------------------
+    # convenience views
+    # ------------------------------------------------------------------
+    def numeric_matrix(self, names: Iterable[str] | None = None) -> np.ndarray:
+        """Stack numeric features into an (n_rows, k) float array with
+        NaN for missing values."""
+        if names is None:
+            names = [s.name for s in self.schema.by_kind(FeatureKind.NUMERIC)]
+        names = list(names)
+        out = np.full((self.n_rows, len(names)), np.nan)
+        for j, name in enumerate(names):
+            if self.schema[name].kind is not FeatureKind.NUMERIC:
+                raise SchemaError(f"feature {name!r} is not numeric")
+            col = self._columns[name]
+            for i, v in enumerate(col):
+                if v is not MISSING:
+                    out[i, j] = float(v)  # type: ignore[arg-type]
+        return out
+
+    def presence_fraction(self, name: str) -> float:
+        """Fraction of rows where the feature is present."""
+        col = self.column(name)
+        if not col:
+            return 0.0
+        return sum(1 for v in col if v is not MISSING) / len(col)
+
+    def summary(self) -> list[dict[str, object]]:
+        """Per-feature presence / cardinality summary."""
+        rows = []
+        for spec in self.schema:
+            col = self._columns[spec.name]
+            present = [v for v in col if v is not MISSING]
+            entry: dict[str, object] = {
+                "feature": spec.name,
+                "kind": spec.kind.value,
+                "service_set": spec.service_set,
+                "servable": spec.servable,
+                "presence": round(len(present) / max(len(col), 1), 3),
+            }
+            if spec.kind is FeatureKind.CATEGORICAL and present:
+                vocab = set()
+                for v in present:
+                    vocab.update(v)  # type: ignore[arg-type]
+                entry["vocab_size"] = len(vocab)
+            rows.append(entry)
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FeatureTable(n_rows={self.n_rows}, "
+            f"n_features={len(self.schema)}, "
+            f"labeled={self.labels is not None})"
+        )

@@ -1,0 +1,236 @@
+"""Vectorization of a :class:`FeatureTable` into a dense model matrix.
+
+Categorical multivalent features become multi-hot columns over a vocab
+learned at fit time (with an optional cap keeping the most frequent
+values — production vocabularies in the paper reach several thousand
+categories).  Numeric features are standardized.  Embedding features
+pass through after per-dimension standardization.  Every feature also
+contributes a *presence* column so models can distinguish "absent for
+this modality" from "empty value" — the paper's early-fusion tables
+leave modality-specific features empty for other modalities.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exceptions import NotFittedError, SchemaError
+from repro.features.schema import FeatureKind, FeatureSchema
+from repro.features.table import MISSING, FeatureTable
+
+__all__ = ["Vectorizer", "FeatureSlice"]
+
+
+@dataclass(frozen=True)
+class FeatureSlice:
+    """Column range of one feature inside the output matrix."""
+
+    name: str
+    start: int
+    stop: int
+
+    @property
+    def width(self) -> int:
+        return self.stop - self.start
+
+
+class Vectorizer:
+    """Fit on one table, transform any table with a compatible schema."""
+
+    def __init__(
+        self,
+        schema: FeatureSchema,
+        max_vocab: int = 512,
+        min_count: int = 2,
+        add_presence: bool = True,
+    ) -> None:
+        self.schema = schema
+        self.max_vocab = max_vocab
+        self.min_count = min_count
+        self.add_presence = add_presence
+        self._vocab: dict[str, dict[str, int]] = {}
+        self._numeric_stats: dict[str, tuple[float, float]] = {}
+        self._embedding_stats: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        self._embedding_dim: dict[str, int] = {}
+        self._slices: list[FeatureSlice] | None = None
+        self._n_columns = 0
+
+    # ------------------------------------------------------------------
+    # fitting
+    # ------------------------------------------------------------------
+    def fit(self, table: FeatureTable) -> "Vectorizer":
+        """Learn vocabularies and standardization statistics."""
+        for spec in self.schema:
+            if spec.name not in table.schema:
+                raise SchemaError(
+                    f"fit table lacks feature {spec.name!r} from the vectorizer schema"
+                )
+        offset = 0
+        slices: list[FeatureSlice] = []
+        for spec in self.schema:
+            col = table.column(spec.name)
+            if spec.kind is FeatureKind.CATEGORICAL:
+                width = self._fit_categorical(spec.name, col)
+            elif spec.kind is FeatureKind.NUMERIC:
+                width = self._fit_numeric(spec.name, col)
+            else:
+                width = self._fit_embedding(spec.name, col)
+            if self.add_presence:
+                width += 1
+            slices.append(FeatureSlice(spec.name, offset, offset + width))
+            offset += width
+        self._slices = slices
+        self._n_columns = offset
+        return self
+
+    def _fit_categorical(self, name: str, col: list[object]) -> int:
+        counts: Counter[str] = Counter()
+        for value in col:
+            if value is not MISSING:
+                counts.update(value)  # type: ignore[arg-type]
+        most_common = [
+            token
+            for token, count in counts.most_common(self.max_vocab)
+            if count >= self.min_count
+        ]
+        self._vocab[name] = {token: i for i, token in enumerate(sorted(most_common))}
+        return len(self._vocab[name])
+
+    def _fit_numeric(self, name: str, col: list[object]) -> int:
+        values = np.array(
+            [float(v) for v in col if v is not MISSING], dtype=float  # type: ignore[arg-type]
+        )
+        if values.size == 0:
+            mean, std = 0.0, 1.0
+        else:
+            mean = float(values.mean())
+            std = float(values.std())
+            if std < 1e-9:
+                std = 1.0
+        self._numeric_stats[name] = (mean, std)
+        return 1
+
+    def _fit_embedding(self, name: str, col: list[object]) -> int:
+        rows = [v for v in col if v is not MISSING]
+        if not rows:
+            raise SchemaError(
+                f"embedding feature {name!r} has no present values in the fit table"
+            )
+        matrix = np.stack(rows)  # type: ignore[arg-type]
+        mean = matrix.mean(axis=0)
+        std = matrix.std(axis=0)
+        std[std < 1e-9] = 1.0
+        self._embedding_stats[name] = (mean, std)
+        self._embedding_dim[name] = matrix.shape[1]
+        return matrix.shape[1]
+
+    # ------------------------------------------------------------------
+    # transforming
+    # ------------------------------------------------------------------
+    @property
+    def n_columns(self) -> int:
+        if self._slices is None:
+            raise NotFittedError("Vectorizer.fit has not been called")
+        return self._n_columns
+
+    @property
+    def slices(self) -> list[FeatureSlice]:
+        if self._slices is None:
+            raise NotFittedError("Vectorizer.fit has not been called")
+        return list(self._slices)
+
+    def slice_for(self, name: str) -> FeatureSlice:
+        for sl in self.slices:
+            if sl.name == name:
+                return sl
+        raise SchemaError(f"feature {name!r} not in vectorizer schema")
+
+    def transform(self, table: FeatureTable) -> np.ndarray:
+        """Vectorize ``table`` into an (n_rows, n_columns) float32 matrix.
+
+        Features missing from the table's schema entirely are treated as
+        absent for every row (all-zero block, presence 0) — this is what
+        lets a text-only table be transformed by a vectorizer fit on a
+        joint text+image table.
+        """
+        if self._slices is None:
+            raise NotFittedError("Vectorizer.fit has not been called")
+        out = np.zeros((table.n_rows, self._n_columns), dtype=np.float32)
+        for sl in self._slices:
+            if sl.name not in table.schema:
+                continue
+            spec = self.schema[sl.name]
+            col = table.column(sl.name)
+            value_stop = sl.stop - (1 if self.add_presence else 0)
+            if spec.kind is FeatureKind.CATEGORICAL:
+                vocab = self._vocab[sl.name]
+                for i, value in enumerate(col):
+                    if value is MISSING:
+                        continue
+                    for token in value:  # type: ignore[union-attr]
+                        j = vocab.get(token)
+                        if j is not None:
+                            out[i, sl.start + j] = 1.0
+                    if self.add_presence:
+                        out[i, value_stop] = 1.0
+            elif spec.kind is FeatureKind.NUMERIC:
+                mean, std = self._numeric_stats[sl.name]
+                for i, value in enumerate(col):
+                    if value is MISSING:
+                        continue
+                    out[i, sl.start] = (float(value) - mean) / std  # type: ignore[arg-type]
+                    if self.add_presence:
+                        out[i, value_stop] = 1.0
+            else:
+                mean_vec, std_vec = self._embedding_stats[sl.name]
+                dim = self._embedding_dim[sl.name]
+                for i, value in enumerate(col):
+                    if value is MISSING:
+                        continue
+                    vec = np.asarray(value, dtype=float)
+                    if vec.shape[0] != dim:
+                        raise SchemaError(
+                            f"embedding {sl.name!r} has dim {vec.shape[0]}, "
+                            f"expected {dim}"
+                        )
+                    out[i, sl.start:value_stop] = (vec - mean_vec) / std_vec
+                    if self.add_presence:
+                        out[i, value_stop] = 1.0
+        return out
+
+    def fit_transform(self, table: FeatureTable) -> np.ndarray:
+        return self.fit(table).transform(table)
+
+    def vocabulary(self, name: str) -> dict[str, int]:
+        """The learned token -> column-offset map for a categorical
+        feature."""
+        if self._slices is None:
+            raise NotFittedError("Vectorizer.fit has not been called")
+        try:
+            return dict(self._vocab[name])
+        except KeyError:
+            raise SchemaError(
+                f"feature {name!r} is not a fitted categorical feature"
+            ) from None
+
+    def column_names(self) -> list[str]:
+        """Human-readable name per output column (for debugging and
+        feature attribution)."""
+        names: list[str] = [""] * self.n_columns
+        for sl in self.slices:
+            spec = self.schema[sl.name]
+            value_stop = sl.stop - (1 if self.add_presence else 0)
+            if spec.kind is FeatureKind.CATEGORICAL:
+                for token, j in self._vocab[sl.name].items():
+                    names[sl.start + j] = f"{sl.name}={token}"
+            elif spec.kind is FeatureKind.NUMERIC:
+                names[sl.start] = sl.name
+            else:
+                for d in range(value_stop - sl.start):
+                    names[sl.start + d] = f"{sl.name}[{d}]"
+            if self.add_presence:
+                names[value_stop] = f"{sl.name}#present"
+        return names

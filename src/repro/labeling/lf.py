@@ -1,0 +1,141 @@
+"""Labeling functions.
+
+An LF takes a feature row (feature-name -> value mapping, with missing
+features as ``None``) and returns POSITIVE (+1), NEGATIVE (-1), or
+ABSTAIN (0).  LFs carry provenance metadata ("origin") so experiments
+can distinguish mined, expert, rule, and propagation LFs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.exceptions import LabelingError
+
+__all__ = [
+    "ABSTAIN",
+    "NEGATIVE",
+    "POSITIVE",
+    "LabelingFunction",
+    "labeling_function",
+    "conjunction_lf",
+    "numeric_threshold_lf",
+]
+
+POSITIVE = 1
+NEGATIVE = -1
+ABSTAIN = 0
+
+_VALID_VOTES = frozenset({POSITIVE, NEGATIVE, ABSTAIN})
+
+FeatureRow = dict[str, object]
+
+
+@dataclass(frozen=True)
+class LabelingFunction:
+    """A named, metadata-carrying labeling function."""
+
+    name: str
+    fn: Callable[[FeatureRow], int] = field(compare=False)
+    origin: str = "manual"
+    #: features the LF reads (for nonservable bookkeeping / analysis)
+    depends_on: tuple[str, ...] = ()
+    description: str = ""
+
+    def __call__(self, row: FeatureRow) -> int:
+        vote = self.fn(row)
+        if vote not in _VALID_VOTES:
+            raise LabelingError(
+                f"LF {self.name!r} returned {vote!r}; "
+                "expected POSITIVE (1), NEGATIVE (-1), or ABSTAIN (0)"
+            )
+        return vote
+
+
+def labeling_function(
+    name: str,
+    origin: str = "manual",
+    depends_on: tuple[str, ...] = (),
+    description: str = "",
+) -> Callable[[Callable[[FeatureRow], int]], LabelingFunction]:
+    """Decorator turning a plain function into a :class:`LabelingFunction`.
+
+    >>> @labeling_function("lf_profanity", depends_on=("keywords",))
+    ... def lf_profanity(row):
+    ...     kws = row.get("keywords") or frozenset()
+    ...     return POSITIVE if "kw3" in kws else ABSTAIN
+    """
+
+    def decorate(fn: Callable[[FeatureRow], int]) -> LabelingFunction:
+        return LabelingFunction(
+            name=name,
+            fn=fn,
+            origin=origin,
+            depends_on=depends_on,
+            description=description or (fn.__doc__ or ""),
+        )
+
+    return decorate
+
+
+def conjunction_lf(
+    name: str,
+    feature: str,
+    values: frozenset[str],
+    vote: int,
+    origin: str = "mined",
+) -> LabelingFunction:
+    """LF voting ``vote`` when the categorical ``feature`` contains
+    *all* of ``values`` (a conjunction of feature values over a single
+    feature — the shape the paper's mining procedure emits, §4.3)."""
+    if vote not in (POSITIVE, NEGATIVE):
+        raise LabelingError("conjunction LF vote must be POSITIVE or NEGATIVE")
+    if not values:
+        raise LabelingError("conjunction LF requires at least one value")
+
+    def fn(row: FeatureRow) -> int:
+        present = row.get(feature)
+        if present is None:
+            return ABSTAIN
+        return vote if values <= present else ABSTAIN  # type: ignore[operator]
+
+    return LabelingFunction(
+        name=name,
+        fn=fn,
+        origin=origin,
+        depends_on=(feature,),
+        description=f"{feature} ⊇ {sorted(values)} -> {vote:+d}",
+    )
+
+
+def numeric_threshold_lf(
+    name: str,
+    feature: str,
+    threshold: float,
+    vote: int,
+    direction: str = "above",
+    origin: str = "manual",
+) -> LabelingFunction:
+    """LF voting ``vote`` when a numeric feature is above/below a
+    threshold (used for aggregate statistics and propagation scores)."""
+    if direction not in ("above", "below"):
+        raise LabelingError("direction must be 'above' or 'below'")
+    if vote not in (POSITIVE, NEGATIVE):
+        raise LabelingError("threshold LF vote must be POSITIVE or NEGATIVE")
+
+    def fn(row: FeatureRow) -> int:
+        value = row.get(feature)
+        if value is None:
+            return ABSTAIN
+        v = float(value)  # type: ignore[arg-type]
+        hit = v >= threshold if direction == "above" else v <= threshold
+        return vote if hit else ABSTAIN
+
+    return LabelingFunction(
+        name=name,
+        fn=fn,
+        origin=origin,
+        depends_on=(feature,),
+        description=f"{feature} {'≥' if direction == 'above' else '≤'} {threshold:.4g} -> {vote:+d}",
+    )

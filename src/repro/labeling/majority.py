@@ -1,0 +1,37 @@
+"""Majority-vote baseline label aggregator.
+
+The simplest way to combine LF votes; the generative model should beat
+it whenever LF accuracies differ (an ablation bench checks this).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.labeling.matrix import LabelMatrix
+
+__all__ = ["MajorityVoter"]
+
+
+class MajorityVoter:
+    """Combine votes by (optionally class-prior-broken) majority."""
+
+    def __init__(self, prior: float = 0.5) -> None:
+        if not 0.0 < prior < 1.0:
+            raise ValueError(f"prior must be in (0, 1), got {prior}")
+        self.prior = prior
+
+    def predict_proba(self, matrix: LabelMatrix) -> np.ndarray:
+        """P(y=1) per point: fraction of positive votes among
+        non-abstains, falling back to the prior for all-abstain rows."""
+        votes = matrix.votes
+        n_pos = (votes == 1).sum(axis=1).astype(float)
+        n_neg = (votes == -1).sum(axis=1).astype(float)
+        total = n_pos + n_neg
+        proba = np.full(matrix.n_points, self.prior)
+        voted = total > 0
+        proba[voted] = n_pos[voted] / total[voted]
+        return proba
+
+    def predict(self, matrix: LabelMatrix, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(matrix) > threshold).astype(np.int64)

@@ -1,0 +1,230 @@
+"""Multi-class weak supervision (paper §4.1).
+
+"While Snorkel supports both binary and multi-class classification
+tasks, in this work, we evaluate our methods on binary classification
+tasks, but can easily extend to multi-class."  This module is that
+extension: labeling functions vote for one of K classes or abstain, and
+a class-conditional generative model (EM, Dirichlet-smoothed — the K-ary
+generalization of :class:`~repro.labeling.label_model.GenerativeLabelModel`)
+denoises the votes into a probabilistic label distribution per point.
+
+Vote convention: an integer in ``{0, ..., n_classes-1}`` for a class,
+or :data:`MC_ABSTAIN` (-1) to abstain.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.exceptions import LabelingError, NotFittedError
+from repro.features.table import FeatureTable
+
+__all__ = [
+    "MC_ABSTAIN",
+    "MulticlassLF",
+    "MulticlassLabelModel",
+    "apply_multiclass_lfs",
+    "class_value_lf",
+]
+
+#: the multi-class abstain vote
+MC_ABSTAIN = -1
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class MulticlassLF:
+    """A labeling function voting for one of K classes or abstaining."""
+
+    name: str
+    fn: Callable[[dict[str, object]], int] = field(compare=False)
+    n_classes: int = 2
+    origin: str = "manual"
+
+    def __call__(self, row: dict[str, object]) -> int:
+        vote = self.fn(row)
+        if vote != MC_ABSTAIN and not 0 <= vote < self.n_classes:
+            raise LabelingError(
+                f"multiclass LF {self.name!r} returned {vote!r}; expected "
+                f"a class in [0, {self.n_classes}) or MC_ABSTAIN"
+            )
+        return vote
+
+
+def class_value_lf(
+    name: str,
+    feature: str,
+    values: frozenset[str],
+    target_class: int,
+    n_classes: int,
+    origin: str = "mined",
+) -> MulticlassLF:
+    """LF voting ``target_class`` when ``feature`` contains all of
+    ``values`` (the multi-class analogue of
+    :func:`~repro.labeling.lf.conjunction_lf`)."""
+    if not 0 <= target_class < n_classes:
+        raise LabelingError(
+            f"target_class {target_class} outside [0, {n_classes})"
+        )
+
+    def fn(row: dict[str, object]) -> int:
+        present = row.get(feature)
+        if present is None:
+            return MC_ABSTAIN
+        return target_class if values <= present else MC_ABSTAIN  # type: ignore[operator]
+
+    return MulticlassLF(name=name, fn=fn, n_classes=n_classes, origin=origin)
+
+
+def apply_multiclass_lfs(
+    lfs: list[MulticlassLF], table: FeatureTable
+) -> np.ndarray:
+    """Apply ``lfs`` to every row; returns an (n_rows, n_lfs) int array
+    of votes (class ids or :data:`MC_ABSTAIN`)."""
+    if not lfs:
+        raise LabelingError("apply_multiclass_lfs requires at least one LF")
+    n_classes = lfs[0].n_classes
+    if any(lf.n_classes != n_classes for lf in lfs):
+        raise LabelingError("all LFs must share the same n_classes")
+    votes = np.full((table.n_rows, len(lfs)), MC_ABSTAIN, dtype=np.int64)
+    for i, row in enumerate(table.iter_rows()):
+        for j, lf in enumerate(lfs):
+            votes[i, j] = lf(row)
+    return votes
+
+
+class MulticlassLabelModel:
+    """EM-fit class-conditional model over K-ary votes.
+
+    Model: hidden label y ~ Categorical(π); each LF j emits vote
+    v ∈ {0..K-1, abstain} with P(v | y), conditionally independently.
+    The E-step computes the posterior over y per point; the M-step
+    re-estimates the (K+1)-way conditional tables with Dirichlet
+    smoothing.  Symmetry is broken by initializing each LF to favor
+    agreement with its own vote (LFs better than random).
+    """
+
+    def __init__(
+        self,
+        n_classes: int,
+        class_balance: np.ndarray | None = None,
+        max_iter: int = 100,
+        tol: float = 1e-5,
+        smoothing: float = 1.0,
+    ) -> None:
+        if n_classes < 2:
+            raise LabelingError(f"n_classes must be >= 2, got {n_classes}")
+        if class_balance is not None:
+            class_balance = np.asarray(class_balance, dtype=float)
+            if class_balance.shape != (n_classes,):
+                raise LabelingError(
+                    f"class_balance must have shape ({n_classes},)"
+                )
+            if abs(class_balance.sum() - 1.0) > 1e-6 or (class_balance <= 0).any():
+                raise LabelingError("class_balance must be a positive distribution")
+        if smoothing <= 0:
+            raise LabelingError("smoothing must be positive")
+        self.n_classes = n_classes
+        self.class_balance = class_balance
+        self.max_iter = max_iter
+        self.tol = tol
+        self.smoothing = smoothing
+        self.conditionals_: np.ndarray | None = None  # (m, K, K+1)
+        self.balance_: np.ndarray | None = None
+        self.n_iterations_: int = 0
+
+    # ------------------------------------------------------------------
+    def _onehot(self, votes: np.ndarray) -> np.ndarray:
+        """(n, m, K+1) indicator; last slot is abstain."""
+        n, m = votes.shape
+        onehot = np.zeros((n, m, self.n_classes + 1))
+        for v in range(self.n_classes):
+            onehot[:, :, v] = votes == v
+        onehot[:, :, self.n_classes] = votes == MC_ABSTAIN
+        return onehot
+
+    def _posterior(
+        self, onehot: np.ndarray, table: np.ndarray, pi: np.ndarray
+    ) -> np.ndarray:
+        log_table = np.log(table.clip(_EPS))  # (m, K, K+1)
+        loglik = np.einsum("imv,myv->iy", onehot, log_table) + np.log(pi)
+        loglik -= loglik.max(axis=1, keepdims=True)
+        posterior = np.exp(loglik)
+        return posterior / posterior.sum(axis=1, keepdims=True)
+
+    def fit(self, votes: np.ndarray) -> "MulticlassLabelModel":
+        votes = np.asarray(votes)
+        if votes.ndim != 2:
+            raise LabelingError("votes must be 2-D (points x LFs)")
+        valid = (votes == MC_ABSTAIN) | (
+            (votes >= 0) & (votes < self.n_classes)
+        )
+        if not valid.all():
+            raise LabelingError("votes contain values outside the class range")
+        if not (votes != MC_ABSTAIN).any():
+            raise LabelingError("every point is uncovered; add LFs first")
+
+        n, m = votes.shape
+        K = self.n_classes
+        onehot = self._onehot(votes)
+        pi = (
+            self.class_balance
+            if self.class_balance is not None
+            else np.full(K, 1.0 / K)
+        )
+
+        # symmetry-broken init: each LF's vote v is more likely under
+        # y == v than under other classes
+        freq = onehot.mean(axis=0) + 1e-3  # (m, K+1)
+        table = np.empty((m, K, K + 1))
+        for y in range(K):
+            tilt = np.full(K + 1, 0.6)
+            tilt[y] = 1.8
+            tilt[K] = 1.0  # abstain untouched
+            table[:, y, :] = freq * tilt
+        table /= table.sum(axis=2, keepdims=True)
+
+        prior = np.full((m, K, K + 1), self.smoothing)
+        for iteration in range(1, self.max_iter + 1):
+            q = self._posterior(onehot, table, pi)  # (n, K)
+            counts = np.einsum("iy,imv->myv", q, onehot) + prior
+            new_table = counts / counts.sum(axis=2, keepdims=True)
+            if self.class_balance is None:
+                pi = q.mean(axis=0).clip(_EPS)
+                pi = pi / pi.sum()
+            delta = float(np.abs(new_table - table).max())
+            table = new_table
+            self.n_iterations_ = iteration
+            if delta < self.tol:
+                break
+
+        self.conditionals_ = table
+        self.balance_ = np.asarray(pi, dtype=float)
+        return self
+
+    def predict_proba(self, votes: np.ndarray) -> np.ndarray:
+        """(n, K) posterior per point; uncovered points get the class
+        balance."""
+        if self.conditionals_ is None or self.balance_ is None:
+            raise NotFittedError("MulticlassLabelModel.fit has not been called")
+        votes = np.asarray(votes)
+        if votes.shape[1] != self.conditionals_.shape[0]:
+            raise LabelingError(
+                f"votes have {votes.shape[1]} LFs; model fit with "
+                f"{self.conditionals_.shape[0]}"
+            )
+        onehot = self._onehot(votes)
+        proba = self._posterior(onehot, self.conditionals_, self.balance_)
+        uncovered = (votes == MC_ABSTAIN).all(axis=1)
+        proba[uncovered] = self.balance_
+        return proba
+
+    def predict(self, votes: np.ndarray) -> np.ndarray:
+        return self.predict_proba(votes).argmax(axis=1)
+
+    def fit_predict(self, votes: np.ndarray) -> np.ndarray:
+        return self.fit(votes).predict(votes)

@@ -1,0 +1,25 @@
+"""Automatic labeling-function generation (paper §4.3).
+
+The paper mines frequent itemsets over the common feature space:
+feature values that occur more often among positive than negative
+examples become candidate LFs, filtered by precision/recall thresholds
+on a labeled development set of the *old* modality.  Each emitted LF is
+a conjunction of values of a single feature (to minimize correlations
+between LFs); order-1 conjunctions suffice in practice.
+
+A :class:`~repro.mining.expert.SimulatedExpert` provides the manual
+baseline for the §6.7.1 comparison.
+"""
+
+from repro.mining.apriori import apriori, itemset_support
+from repro.mining.lf_generator import MinedLFGenerator, MiningReport
+from repro.mining.expert import ExpertReport, SimulatedExpert
+
+__all__ = [
+    "ExpertReport",
+    "MinedLFGenerator",
+    "MiningReport",
+    "SimulatedExpert",
+    "apriori",
+    "itemset_support",
+]

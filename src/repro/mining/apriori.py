@@ -1,0 +1,121 @@
+"""Frequent-itemset mining (Apriori, levelwise candidate generation).
+
+Transactions are frozensets of hashable items; here items are
+``(feature_name, token)`` pairs.  The classic Apriori pruning applies:
+every subset of a frequent itemset is frequent, so level k+1 candidates
+are built by joining level-k itemsets sharing k-1 items and pruned
+against level k [Srikant & Agrawal 1996].
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.exceptions import MiningError
+
+__all__ = ["apriori", "itemset_support"]
+
+Item = Hashable
+Itemset = frozenset
+Transaction = frozenset
+
+
+def itemset_support(
+    transactions: Sequence[Transaction], itemset: Itemset
+) -> int:
+    """Number of transactions containing every item of ``itemset``."""
+    return sum(1 for t in transactions if itemset <= t)
+
+
+def _frequent_singletons(
+    transactions: Sequence[Transaction], min_count: int
+) -> dict[Itemset, int]:
+    counts: dict[Item, int] = defaultdict(int)
+    for transaction in transactions:
+        for item in transaction:
+            counts[item] += 1
+    return {
+        frozenset({item}): count
+        for item, count in counts.items()
+        if count >= min_count
+    }
+
+
+def _join_level(frequent: list[Itemset], k: int) -> set[Itemset]:
+    """Candidate (k+1)-itemsets from frequent k-itemsets."""
+    candidates: set[Itemset] = set()
+    n = len(frequent)
+    for i in range(n):
+        for j in range(i + 1, n):
+            union = frequent[i] | frequent[j]
+            if len(union) == k + 1:
+                candidates.add(union)
+    return candidates
+
+
+def _prune(candidates: set[Itemset], frequent_prev: set[Itemset]) -> list[Itemset]:
+    """Keep candidates all of whose k-subsets are frequent."""
+    kept = []
+    for candidate in candidates:
+        if all(
+            candidate - {item} in frequent_prev for item in candidate
+        ):
+            kept.append(candidate)
+    return kept
+
+
+def apriori(
+    transactions: Iterable[Transaction],
+    min_support: float = 0.01,
+    max_order: int = 1,
+) -> dict[Itemset, float]:
+    """Mine frequent itemsets up to ``max_order`` items.
+
+    Parameters
+    ----------
+    transactions:
+        Iterable of frozensets of items.
+    min_support:
+        Minimum fraction of transactions an itemset must appear in.
+    max_order:
+        Largest itemset size to mine (the paper finds order 1
+        sufficient; we support higher orders for the ablation).
+
+    Returns
+    -------
+    dict mapping each frequent itemset to its support (fraction).
+    """
+    transactions = [frozenset(t) for t in transactions]
+    if not transactions:
+        raise MiningError("apriori requires at least one transaction")
+    if not 0.0 < min_support <= 1.0:
+        raise MiningError(f"min_support must be in (0, 1], got {min_support}")
+    if max_order < 1:
+        raise MiningError(f"max_order must be >= 1, got {max_order}")
+
+    n = len(transactions)
+    min_count = max(int(np.ceil(min_support * n)), 1)
+    result: dict[Itemset, float] = {}
+
+    level = _frequent_singletons(transactions, min_count)
+    order = 1
+    while level and order <= max_order:
+        for itemset, count in level.items():
+            result[itemset] = count / n
+        if order == max_order:
+            break
+        frequent_now = set(level)
+        candidates = _prune(
+            _join_level(list(level), order), frequent_now
+        )
+        next_level: dict[Itemset, int] = {}
+        for candidate in candidates:
+            count = itemset_support(transactions, candidate)
+            if count >= min_count:
+                next_level[candidate] = count
+        level = next_level
+        order += 1
+    return result

@@ -1,0 +1,372 @@
+"""Automatic LF generation from a labeled development set (paper §4.3).
+
+Procedure (mirroring the paper):
+
+1. To decrease runtime in class-imbalanced settings, candidate feature
+   values are first mined from the *positive* examples with Apriori.
+2. Each candidate — a conjunction of values over a *single* feature —
+   becomes a positive LF if its precision and recall on the dev set
+   clear pre-specified thresholds.
+3. Negative LFs are mined symmetrically (values frequent among
+   negatives with near-zero positive rate); they are easy to find but
+   the borderline region stays uncovered, which is what label
+   propagation later fixes (§4.4).
+4. Numeric features (aggregate statistics) yield threshold LFs: the
+   best quantile cut per feature and polarity that clears the same
+   thresholds.
+
+The generator also records a wall-clock measurement, which feeds the
+§6.7.1 time comparison.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.exceptions import MiningError
+from repro.features.schema import FeatureKind
+from repro.features.table import MISSING, FeatureTable
+from repro.labeling.lf import (
+    NEGATIVE,
+    POSITIVE,
+    LabelingFunction,
+    conjunction_lf,
+    numeric_threshold_lf,
+)
+from repro.mining.apriori import apriori
+
+__all__ = ["MinedLFGenerator", "MiningReport"]
+
+Item = tuple[str, str]
+
+
+@dataclass
+class MiningReport:
+    """What the mining pass found and how long it took."""
+
+    n_positive_lfs: int = 0
+    n_negative_lfs: int = 0
+    n_candidates_considered: int = 0
+    wall_clock_seconds: float = 0.0
+    rejected: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_lfs(self) -> int:
+        return self.n_positive_lfs + self.n_negative_lfs
+
+
+def _rows_to_transactions(
+    table: FeatureTable, features: list[str]
+) -> list[frozenset]:
+    transactions = []
+    for row in table.iter_rows():
+        items: set[Item] = set()
+        for name in features:
+            value = row.get(name)
+            if value is MISSING:
+                continue
+            for token in value:  # type: ignore[union-attr]
+                items.add((name, token))
+        transactions.append(frozenset(items))
+    return transactions
+
+
+class MinedLFGenerator:
+    """Mines labeling functions from a labeled development table.
+
+    Parameters
+    ----------
+    min_precision:
+        Dev-set precision a positive LF must reach (the paper's
+        "pre-specified precision ... threshold").
+    min_recall:
+        Dev-set recall (over positives) a positive LF must reach;
+        typically small — each LF covers one behavioural mode.
+    min_negative_purity:
+        For negative LFs, the minimum fraction of matched points that
+        are truly negative.
+    min_support:
+        Apriori support threshold over the positive examples.
+    max_order:
+        Conjunction order (number of values of the same feature); the
+        paper uses 1.
+    max_lfs_per_polarity:
+        Cap on emitted LFs per polarity, keeping the highest-precision
+        ones (positives) / highest-coverage ones (negatives).
+    """
+
+    def __init__(
+        self,
+        min_precision: float = 0.15,
+        min_lift: float = 3.0,
+        min_recall: float = 0.005,
+        min_negative_purity: float = 0.995,
+        min_negative_support: float = 0.02,
+        min_support: float = 0.02,
+        max_order: int = 1,
+        max_lfs_per_polarity: int = 80,
+        numeric_quantiles: tuple[float, ...] = (0.70, 0.80, 0.90, 0.95, 0.98),
+        min_positive_matches: int = 3,
+        precision_smoothing: float = 4.0,
+    ) -> None:
+        if not 0.0 < min_precision <= 1.0:
+            raise MiningError(f"min_precision must be in (0, 1], got {min_precision}")
+        if min_lift < 1.0:
+            raise MiningError(f"min_lift must be >= 1, got {min_lift}")
+        self.min_precision = min_precision
+        #: a positive LF's precision must exceed ``min_lift`` times the
+        #: base positive rate — the meaningful "high precision" notion
+        #: under the paper's heavy class imbalance
+        self.min_lift = min_lift
+        self.min_recall = min_recall
+        self.min_negative_purity = min_negative_purity
+        self.min_negative_support = min_negative_support
+        self.min_support = min_support
+        self.max_order = max_order
+        self.max_lfs_per_polarity = max_lfs_per_polarity
+        self.numeric_quantiles = numeric_quantiles
+        #: a candidate must match at least this many dev positives
+        self.min_positive_matches = min_positive_matches
+        #: pseudo-count smoothing pulling small-sample precision toward
+        #: the base rate (guards against overfitting tiny dev sets)
+        self.precision_smoothing = precision_smoothing
+        self.report_: MiningReport | None = None
+
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        dev_table: FeatureTable,
+        features: list[str] | None = None,
+    ) -> list[LabelingFunction]:
+        """Mine LFs from ``dev_table`` (must carry labels).
+
+        ``features`` restricts which features may appear in LFs (e.g.
+        only those shared with the new modality); defaults to all.
+        """
+        if dev_table.labels is None:
+            raise MiningError("LF mining requires a labeled development table")
+        labels = dev_table.labels
+        if labels.sum() == 0:
+            raise MiningError("development table contains no positive examples")
+
+        schema = dev_table.schema
+        if features is None:
+            features = schema.names
+        categorical = [
+            n for n in features if schema[n].kind is FeatureKind.CATEGORICAL
+        ]
+        numeric = [n for n in features if schema[n].kind is FeatureKind.NUMERIC]
+
+        t0 = time.perf_counter()
+        report = MiningReport()
+        positive_lfs = self._mine_positive(
+            dev_table, labels, categorical, report
+        )
+        negative_lfs = self._mine_negative(
+            dev_table, labels, categorical, report
+        )
+        pos_numeric, neg_numeric = self._mine_numeric(
+            dev_table, labels, numeric, report
+        )
+        positive_lfs.extend(pos_numeric)
+        negative_lfs.extend(neg_numeric)
+
+        report.n_positive_lfs = len(positive_lfs)
+        report.n_negative_lfs = len(negative_lfs)
+        report.wall_clock_seconds = time.perf_counter() - t0
+        self.report_ = report
+        return positive_lfs + negative_lfs
+
+    # ------------------------------------------------------------------
+    def _mine_positive(
+        self,
+        table: FeatureTable,
+        labels: np.ndarray,
+        categorical: list[str],
+        report: MiningReport,
+    ) -> list[LabelingFunction]:
+        if not categorical:
+            return []
+        pos_idx = np.flatnonzero(labels == 1)
+        pos_table = table.select_rows(pos_idx)
+        pos_transactions = _rows_to_transactions(pos_table, categorical)
+        frequent = apriori(
+            pos_transactions, min_support=self.min_support, max_order=self.max_order
+        )
+        # keep only single-feature conjunctions (paper: "each LF is ...
+        # defined over a single feature")
+        candidates = [
+            itemset
+            for itemset in frequent
+            if len({item[0] for item in itemset}) == 1
+        ]
+        report.n_candidates_considered += len(candidates)
+
+        all_transactions = _rows_to_transactions(table, categorical)
+        n_pos_total = int(labels.sum())
+        base_rate = n_pos_total / len(labels)
+        s = self.precision_smoothing
+        scored: list[tuple[float, float, frozenset]] = []
+        rejected_precision = 0
+        rejected_recall = 0
+        for itemset in candidates:
+            matched = np.fromiter(
+                (itemset <= t for t in all_transactions), dtype=bool
+            )
+            n_matched = int(matched.sum())
+            if n_matched == 0:
+                continue
+            tp = int(labels[matched].sum())
+            precision = (tp + s * base_rate) / (n_matched + s)
+            recall = tp / n_pos_total
+            passes = (
+                tp >= self.min_positive_matches
+                and precision >= self.min_precision
+                and precision >= self.min_lift * base_rate
+            )
+            if not passes:
+                rejected_precision += 1
+                continue
+            if recall < self.min_recall:
+                rejected_recall += 1
+                continue
+            scored.append((precision, recall, itemset))
+        report.rejected["positive_precision"] = rejected_precision
+        report.rejected["positive_recall"] = rejected_recall
+
+        scored.sort(key=lambda entry: (-entry[0], -entry[1]))
+        scored = self._dedupe(scored)[: self.max_lfs_per_polarity]
+        lfs = []
+        for precision, recall, itemset in scored:
+            feature = next(iter(itemset))[0]
+            values = frozenset(token for _, token in itemset)
+            name = f"mined_pos[{feature}={'&'.join(sorted(values))}]"
+            lfs.append(conjunction_lf(name, feature, values, POSITIVE, origin="mined"))
+        return lfs
+
+    def _mine_negative(
+        self,
+        table: FeatureTable,
+        labels: np.ndarray,
+        categorical: list[str],
+        report: MiningReport,
+    ) -> list[LabelingFunction]:
+        """Negative LFs: values whose matched points are almost never
+        positive, with enough support to matter."""
+        if not categorical:
+            return []
+        value_counts: dict[Item, list[int]] = defaultdict(lambda: [0, 0])
+        transactions = _rows_to_transactions(table, categorical)
+        for items, label in zip(transactions, labels):
+            for item in items:
+                entry = value_counts[item]
+                entry[0] += int(label)
+                entry[1] += 1
+        n = len(labels)
+        min_count = max(int(self.min_negative_support * n), 1)
+        scored = []
+        for (feature, token), (pos, total) in value_counts.items():
+            if total < min_count:
+                continue
+            purity = 1.0 - pos / total
+            if purity >= self.min_negative_purity:
+                scored.append((total, purity, feature, token))
+        report.n_candidates_considered += len(value_counts)
+        scored.sort(key=lambda entry: (-entry[0], -entry[1]))
+        lfs = []
+        for total, purity, feature, token in scored[: self.max_lfs_per_polarity]:
+            name = f"mined_neg[{feature}={token}]"
+            lfs.append(
+                conjunction_lf(name, feature, frozenset({token}), NEGATIVE, origin="mined")
+            )
+        return lfs
+
+    def _mine_numeric(
+        self,
+        table: FeatureTable,
+        labels: np.ndarray,
+        numeric: list[str],
+        report: MiningReport,
+    ) -> tuple[list[LabelingFunction], list[LabelingFunction]]:
+        positive_lfs: list[LabelingFunction] = []
+        negative_lfs: list[LabelingFunction] = []
+        n_pos_total = int(labels.sum())
+        base_rate = n_pos_total / len(labels)
+        s = self.precision_smoothing
+        for feature in numeric:
+            column = table.column(feature)
+            values = np.array(
+                [float(v) if v is not MISSING else np.nan for v in column]  # type: ignore[arg-type]
+            )
+            present = ~np.isnan(values)
+            if present.sum() < 50:
+                continue
+            seen_thresholds: set[float] = set()
+            for q in self.numeric_quantiles:
+                threshold = float(np.nanquantile(values, q))
+                report.n_candidates_considered += 2
+                # high values -> positive; every passing quantile is
+                # emitted, giving the label model a graded view of the
+                # statistic (nested thresholds on the same feature)
+                matched = present & (values >= threshold)
+                n_matched = int(matched.sum())
+                if n_matched and threshold not in seen_thresholds:
+                    tp = int(labels[matched].sum())
+                    precision = (tp + s * base_rate) / (n_matched + s)
+                    recall = tp / n_pos_total
+                    if (
+                        tp >= self.min_positive_matches
+                        and precision >= self.min_precision
+                        and precision >= self.min_lift * base_rate
+                        and recall >= self.min_recall
+                    ):
+                        seen_thresholds.add(threshold)
+                        positive_lfs.append(
+                            numeric_threshold_lf(
+                                f"mined_pos[{feature}>=q{int(q * 100)}]",
+                                feature,
+                                threshold,
+                                POSITIVE,
+                                direction="above",
+                                origin="mined",
+                            )
+                        )
+                # low values -> negative
+                low_threshold = float(np.nanquantile(values, 1.0 - q))
+                matched = present & (values <= low_threshold)
+                n_matched = int(matched.sum())
+                if (
+                    n_matched >= max(int(self.min_negative_support * len(labels)), 1)
+                    and -low_threshold not in seen_thresholds
+                ):
+                    purity = 1.0 - labels[matched].mean()
+                    if purity >= self.min_negative_purity:
+                        seen_thresholds.add(-low_threshold)
+                        negative_lfs.append(
+                            numeric_threshold_lf(
+                                f"mined_neg[{feature}<=q{int((1 - q) * 100)}]",
+                                feature,
+                                low_threshold,
+                                NEGATIVE,
+                                direction="below",
+                                origin="mined",
+                            )
+                        )
+        return positive_lfs, negative_lfs
+
+    @staticmethod
+    def _dedupe(
+        scored: list[tuple[float, float, frozenset]]
+    ) -> list[tuple[float, float, frozenset]]:
+        """Drop itemsets subsumed by an already-kept subset of the same
+        feature (a superset conjunction fires on a subset of points)."""
+        kept: list[tuple[float, float, frozenset]] = []
+        for precision, recall, itemset in scored:
+            if any(prev <= itemset for _, _, prev in kept):
+                continue
+            kept.append((precision, recall, itemset))
+        return kept

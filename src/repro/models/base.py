@@ -1,0 +1,82 @@
+"""Estimator protocol and shared training utilities.
+
+All models accept *soft* targets in [0, 1] — probabilistic labels from
+the generative label model train through the same noise-aware binary
+cross-entropy as hard labels ("modified to train with probabilistic
+labels using a cross-entropy loss function", §6.3).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+
+__all__ = ["Estimator", "validate_training_inputs", "sigmoid", "bce_loss"]
+
+
+@runtime_checkable
+class Estimator(Protocol):
+    """Minimal interface every discriminative model implements."""
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "Estimator":
+        """Train on features ``X`` and (possibly soft) targets ``y``."""
+        ...
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """P(y=1) per row."""
+        ...
+
+
+def validate_training_inputs(
+    X: np.ndarray,
+    y: np.ndarray,
+    sample_weight: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Check shapes/ranges and normalize dtypes for training."""
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if X.ndim != 2:
+        raise ConfigurationError(f"X must be 2-D, got shape {X.shape}")
+    if len(y) != X.shape[0]:
+        raise ConfigurationError(
+            f"X has {X.shape[0]} rows but y has {len(y)} targets"
+        )
+    if len(y) == 0:
+        raise ConfigurationError("cannot fit on an empty dataset")
+    if y.min() < 0.0 or y.max() > 1.0:
+        raise ConfigurationError("targets must lie in [0, 1]")
+    if sample_weight is None:
+        sample_weight = np.ones_like(y)
+    else:
+        sample_weight = np.asarray(sample_weight, dtype=np.float64).ravel()
+        if len(sample_weight) != len(y):
+            raise ConfigurationError("sample_weight must align with y")
+        if (sample_weight < 0).any():
+            raise ConfigurationError("sample weights must be non-negative")
+    return X, y, sample_weight
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -500, 500)))
+
+
+def bce_loss(
+    proba: np.ndarray, targets: np.ndarray, sample_weight: np.ndarray
+) -> float:
+    """Weighted binary cross-entropy with soft targets."""
+    eps = 1e-9
+    p = np.clip(proba, eps, 1.0 - eps)
+    losses = -(targets * np.log(p) + (1.0 - targets) * np.log(1.0 - p))
+    total_weight = sample_weight.sum()
+    if total_weight <= 0:
+        return 0.0
+    return float((losses * sample_weight).sum() / total_weight)

@@ -1,0 +1,263 @@
+"""Multi-modal fusion strategies (paper §5, Figure 4).
+
+* :class:`EarlyFusion` — merge all modalities' features into one table
+  ("features specific to certain data modalities are left empty" for
+  the others) and train a single model on the combined dataset.  The
+  paper finds this simple strategy wins.
+* :class:`IntermediateFusion` — train an independent model per
+  modality, strip each model's final prediction layer, concatenate the
+  resulting embeddings (every point passes through *all* models via the
+  shared features) and train a final model on the concatenation.
+* :class:`DeViSE` — train model A on the old modalities and freeze it;
+  pre-train model B on the weakly-supervised new modality; learn a
+  projection P matching B's embedding of a point to A's embedding of
+  its shared features; at inference, route new-modality points through
+  B -> P -> A's frozen prediction layer [Frome et al. 2013, adapted].
+
+All three consume :class:`~repro.features.table.FeatureTable` objects
+plus (possibly probabilistic) targets, and emit P(y=1) for any table.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from functools import reduce
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError, NotFittedError
+from repro.features.table import FeatureTable
+from repro.features.vectorize import Vectorizer
+from repro.models.base import Estimator
+from repro.models.linear import LogisticRegression
+from repro.models.mlp import MLPClassifier
+
+__all__ = ["EarlyFusion", "IntermediateFusion", "DeViSE"]
+
+ModelFactory = Callable[[], Estimator]
+
+
+def _check_alignment(
+    tables: Sequence[FeatureTable],
+    targets: Sequence[np.ndarray],
+    sample_weights: Sequence[np.ndarray | None] | None,
+) -> list[np.ndarray | None]:
+    if len(tables) == 0:
+        raise ConfigurationError("fusion requires at least one table")
+    if len(tables) != len(targets):
+        raise ConfigurationError(
+            f"{len(tables)} tables but {len(targets)} target arrays"
+        )
+    for table, y in zip(tables, targets):
+        if len(y) != table.n_rows:
+            raise ConfigurationError(
+                f"table with {table.n_rows} rows got {len(y)} targets"
+            )
+    if sample_weights is None:
+        return [None] * len(tables)
+    if len(sample_weights) != len(tables):
+        raise ConfigurationError("sample_weights must align with tables")
+    return list(sample_weights)
+
+
+def _concat_weights(
+    tables: Sequence[FeatureTable],
+    weights: Sequence[np.ndarray | None],
+) -> np.ndarray:
+    parts = []
+    for table, w in zip(tables, weights):
+        parts.append(
+            np.ones(table.n_rows) if w is None else np.asarray(w, dtype=float)
+        )
+    return np.concatenate(parts)
+
+
+def _embed(model: Estimator, X: np.ndarray) -> np.ndarray:
+    """A model's pre-prediction representation of ``X``.
+
+    MLPs expose their penultimate layer; linear models contribute their
+    decision function (a 1-D embedding); anything else falls back to
+    its output probability.
+    """
+    if isinstance(model, MLPClassifier):
+        return model.hidden(X)
+    if isinstance(model, LogisticRegression):
+        return model.decision_function(X)[:, None]
+    return model.predict_proba(X)[:, None]
+
+
+class EarlyFusion:
+    """Single model over the row-concatenation of all modality tables."""
+
+    def __init__(self, model_factory: ModelFactory, max_vocab: int = 512) -> None:
+        self.model_factory = model_factory
+        self.max_vocab = max_vocab
+        self.vectorizer_: Vectorizer | None = None
+        self.model_: Estimator | None = None
+
+    def fit(
+        self,
+        tables: Sequence[FeatureTable],
+        targets: Sequence[np.ndarray],
+        sample_weights: Sequence[np.ndarray | None] | None = None,
+    ) -> "EarlyFusion":
+        weights = _check_alignment(tables, targets, sample_weights)
+        joint = reduce(lambda a, b: a.concat(b), tables)
+        self.vectorizer_ = Vectorizer(joint.schema, max_vocab=self.max_vocab).fit(joint)
+        X = self.vectorizer_.transform(joint)
+        y = np.concatenate([np.asarray(t, dtype=float) for t in targets])
+        w = _concat_weights(tables, weights)
+        self.model_ = self.model_factory()
+        self.model_.fit(X, y, sample_weight=w)
+        return self
+
+    def predict_proba(self, table: FeatureTable) -> np.ndarray:
+        if self.vectorizer_ is None or self.model_ is None:
+            raise NotFittedError("EarlyFusion.fit has not been called")
+        return self.model_.predict_proba(self.vectorizer_.transform(table))
+
+
+class IntermediateFusion:
+    """Per-modality models -> concatenated embeddings -> joint head."""
+
+    def __init__(
+        self,
+        model_factory: ModelFactory,
+        head_factory: ModelFactory | None = None,
+        max_vocab: int = 512,
+    ) -> None:
+        self.model_factory = model_factory
+        self.head_factory = head_factory or model_factory
+        self.max_vocab = max_vocab
+        self.vectorizers_: list[Vectorizer] | None = None
+        self.models_: list[Estimator] | None = None
+        self.head_: Estimator | None = None
+
+    def fit(
+        self,
+        tables: Sequence[FeatureTable],
+        targets: Sequence[np.ndarray],
+        sample_weights: Sequence[np.ndarray | None] | None = None,
+    ) -> "IntermediateFusion":
+        weights = _check_alignment(tables, targets, sample_weights)
+
+        # First pass: independent model per modality table.
+        vectorizers: list[Vectorizer] = []
+        models: list[Estimator] = []
+        for table, y, w in zip(tables, targets, weights):
+            vec = Vectorizer(table.schema, max_vocab=self.max_vocab).fit(table)
+            model = self.model_factory()
+            model.fit(
+                vec.transform(table),
+                np.asarray(y, dtype=float),
+                sample_weight=w,
+            )
+            vectorizers.append(vec)
+            models.append(model)
+
+        # Second pass: every point flows through every modality model
+        # (shared features route through; modality-specific ones vanish).
+        joint = reduce(lambda a, b: a.concat(b), tables)
+        embedding = self._joint_embedding(joint, vectorizers, models)
+        y_all = np.concatenate([np.asarray(t, dtype=float) for t in targets])
+        w_all = _concat_weights(tables, weights)
+        head = self.head_factory()
+        head.fit(embedding, y_all, sample_weight=w_all)
+
+        self.vectorizers_ = vectorizers
+        self.models_ = models
+        self.head_ = head
+        return self
+
+    @staticmethod
+    def _joint_embedding(
+        table: FeatureTable,
+        vectorizers: list[Vectorizer],
+        models: list[Estimator],
+    ) -> np.ndarray:
+        blocks = [
+            _embed(model, vec.transform(table))
+            for vec, model in zip(vectorizers, models)
+        ]
+        return np.hstack(blocks)
+
+    def predict_proba(self, table: FeatureTable) -> np.ndarray:
+        if self.vectorizers_ is None or self.models_ is None or self.head_ is None:
+            raise NotFittedError("IntermediateFusion.fit has not been called")
+        embedding = self._joint_embedding(table, self.vectorizers_, self.models_)
+        return self.head_.predict_proba(embedding)
+
+
+class DeViSE:
+    """Frozen old-modality model + projected new-modality embedding."""
+
+    def __init__(
+        self,
+        model_factory: Callable[[], MLPClassifier],
+        ridge: float = 1e-2,
+        max_vocab: int = 512,
+    ) -> None:
+        self.model_factory = model_factory
+        self.ridge = ridge
+        self.max_vocab = max_vocab
+        self.vectorizer_a_: Vectorizer | None = None
+        self.vectorizer_b_: Vectorizer | None = None
+        self.model_a_: MLPClassifier | None = None
+        self.model_b_: MLPClassifier | None = None
+        self.projection_: np.ndarray | None = None
+
+    def fit(
+        self,
+        old_tables: Sequence[FeatureTable],
+        old_targets: Sequence[np.ndarray],
+        new_table: FeatureTable,
+        new_targets: np.ndarray,
+        old_weights: Sequence[np.ndarray | None] | None = None,
+        new_weight: np.ndarray | None = None,
+    ) -> "DeViSE":
+        weights = _check_alignment(old_tables, old_targets, old_weights)
+
+        # Stage 1: model A over the existing modalities; then frozen.
+        joint_old = reduce(lambda a, b: a.concat(b), old_tables)
+        vec_a = Vectorizer(joint_old.schema, max_vocab=self.max_vocab).fit(joint_old)
+        model_a = self.model_factory()
+        model_a.fit(
+            vec_a.transform(joint_old),
+            np.concatenate([np.asarray(t, dtype=float) for t in old_targets]),
+            sample_weight=_concat_weights(old_tables, weights),
+        )
+
+        # Stage 2: pre-train model B on the weakly-supervised new
+        # modality.
+        vec_b = Vectorizer(new_table.schema, max_vocab=self.max_vocab).fit(new_table)
+        model_b = self.model_factory()
+        model_b.fit(
+            vec_b.transform(new_table),
+            np.asarray(new_targets, dtype=float),
+            sample_weight=new_weight,
+        )
+
+        # Stage 3: projection layer P matching Y = hidden_B(x) to
+        # X = hidden_A(shared features of x); ridge least squares.
+        H_b = model_b.hidden(vec_b.transform(new_table))
+        H_a = model_a.hidden(vec_a.transform(new_table))
+        gram = H_b.T @ H_b + self.ridge * np.eye(H_b.shape[1])
+        self.projection_ = np.linalg.solve(gram, H_b.T @ H_a)
+
+        self.vectorizer_a_ = vec_a
+        self.vectorizer_b_ = vec_b
+        self.model_a_ = model_a
+        self.model_b_ = model_b
+        return self
+
+    def predict_proba(self, table: FeatureTable) -> np.ndarray:
+        if (
+            self.model_a_ is None
+            or self.model_b_ is None
+            or self.projection_ is None
+            or self.vectorizer_b_ is None
+        ):
+            raise NotFittedError("DeViSE.fit has not been called")
+        H_b = self.model_b_.hidden(self.vectorizer_b_.transform(table))
+        projected = H_b @ self.projection_
+        return self.model_a_.head(projected)

@@ -1,0 +1,106 @@
+"""Classification metrics: AUPRC (the paper's headline metric), PR
+curves, and thresholded precision / recall / F1.
+
+The paper evaluates with the area under the precision-recall curve
+"over the labeled image test set", reported *relative to* a baseline
+fully-supervised image model trained only on pretrained embeddings;
+:func:`relative_auprc` implements that normalization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+
+__all__ = [
+    "auprc",
+    "pr_curve",
+    "precision_recall_at",
+    "f1_score",
+    "relative_auprc",
+]
+
+
+def _validate(scores: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    scores = np.asarray(scores, dtype=float).ravel()
+    labels = np.asarray(labels, dtype=int).ravel()
+    if scores.shape != labels.shape:
+        raise ConfigurationError(
+            f"scores and labels have mismatched shapes {scores.shape} vs {labels.shape}"
+        )
+    if len(scores) == 0:
+        raise ConfigurationError("metrics require at least one example")
+    if not np.isin(labels, (0, 1)).all():
+        raise ConfigurationError("labels must be binary 0/1")
+    return scores, labels
+
+
+def pr_curve(
+    scores: np.ndarray, labels: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Precision and recall at every distinct score threshold.
+
+    Returns (precision, recall, thresholds), ordered from the highest
+    threshold (low recall) to the lowest (recall 1).
+    """
+    scores, labels = _validate(scores, labels)
+    n_pos = int(labels.sum())
+    if n_pos == 0:
+        raise ConfigurationError("pr_curve requires at least one positive label")
+    order = np.argsort(-scores, kind="mergesort")
+    sorted_scores = scores[order]
+    sorted_labels = labels[order]
+    tp = np.cumsum(sorted_labels)
+    predicted = np.arange(1, len(labels) + 1)
+    precision = tp / predicted
+    recall = tp / n_pos
+    # collapse ties: keep the last index of each distinct score
+    distinct = np.flatnonzero(np.diff(sorted_scores, append=-np.inf))
+    return precision[distinct], recall[distinct], sorted_scores[distinct]
+
+
+def auprc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the precision-recall curve (average precision).
+
+    Computed as the step-wise integral sum_k (R_k - R_{k-1}) * P_k over
+    distinct thresholds — the standard average-precision estimator.
+    """
+    precision, recall, _ = pr_curve(scores, labels)
+    recall_prev = np.concatenate([[0.0], recall[:-1]])
+    return float(np.sum((recall - recall_prev) * precision))
+
+
+def precision_recall_at(
+    scores: np.ndarray, labels: np.ndarray, threshold: float = 0.5
+) -> tuple[float, float]:
+    """(precision, recall) of the ``score > threshold`` classifier."""
+    scores, labels = _validate(scores, labels)
+    predicted = scores > threshold
+    tp = float((predicted & (labels == 1)).sum())
+    fp = float((predicted & (labels == 0)).sum())
+    fn = float((~predicted & (labels == 1)).sum())
+    precision = tp / (tp + fp) if tp + fp > 0 else 0.0
+    recall = tp / (tp + fn) if tp + fn > 0 else 0.0
+    return precision, recall
+
+
+def f1_score(
+    scores: np.ndarray, labels: np.ndarray, threshold: float = 0.5
+) -> float:
+    """F1 of the ``score > threshold`` classifier."""
+    precision, recall = precision_recall_at(scores, labels, threshold)
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def relative_auprc(
+    scores: np.ndarray, labels: np.ndarray, baseline_auprc: float
+) -> float:
+    """AUPRC relative to a baseline model's AUPRC (the paper's unit)."""
+    if baseline_auprc <= 0:
+        raise ConfigurationError(
+            f"baseline AUPRC must be positive, got {baseline_auprc}"
+        )
+    return auprc(scores, labels) / baseline_auprc

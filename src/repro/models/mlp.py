@@ -1,0 +1,223 @@
+"""Fully-connected neural network classifier (NumPy, Adam, minibatch).
+
+The paper's TFX pipelines use "fully-connected deep neural networks";
+CT 1–4 ship the neural model.  Beyond the :class:`Estimator` interface
+the MLP exposes its penultimate representation (:meth:`hidden`) and the
+final prediction layer (:meth:`head`), which intermediate fusion and
+DeViSE need (both remove "the final prediction layer (e.g., softmax)"
+and operate on the embedding beneath it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError, NotFittedError
+from repro.core.rng import make_rng
+from repro.models.base import bce_loss, sigmoid, validate_training_inputs
+
+__all__ = ["MLPClassifier"]
+
+
+class MLPClassifier:
+    """Binary MLP with ReLU hidden layers and a sigmoid output.
+
+    Parameters
+    ----------
+    hidden_sizes:
+        Sizes of hidden layers; the last entry is the embedding width
+        exposed by :meth:`hidden`.
+    n_epochs, batch_size, learning_rate, l2:
+        Adam minibatch training controls.
+    early_stopping_fraction / patience:
+        When the fraction is > 0, that share of the training data is
+        held out and training stops after ``patience`` epochs without
+        validation-loss improvement (weights roll back to the best
+        epoch).
+    """
+
+    def __init__(
+        self,
+        hidden_sizes: tuple[int, ...] = (64, 32),
+        n_epochs: int = 60,
+        batch_size: int = 256,
+        learning_rate: float = 1e-3,
+        l2: float = 1e-5,
+        early_stopping_fraction: float = 0.1,
+        patience: int = 8,
+        seed: int = 0,
+    ) -> None:
+        if not hidden_sizes:
+            raise ConfigurationError("MLP requires at least one hidden layer")
+        if any(h <= 0 for h in hidden_sizes):
+            raise ConfigurationError("hidden layer sizes must be positive")
+        if not 0.0 <= early_stopping_fraction < 0.5:
+            raise ConfigurationError(
+                "early_stopping_fraction must be in [0, 0.5)"
+            )
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.n_epochs = n_epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.early_stopping_fraction = early_stopping_fraction
+        self.patience = patience
+        self.seed = seed
+        self.weights_: list[np.ndarray] | None = None
+        self.biases_: list[np.ndarray] | None = None
+        self.loss_history_: list[float] = []
+        self.val_loss_history_: list[float] = []
+
+    # ------------------------------------------------------------------
+    # forward pass
+    # ------------------------------------------------------------------
+    def _forward(
+        self, X: np.ndarray, weights: list[np.ndarray], biases: list[np.ndarray]
+    ) -> list[np.ndarray]:
+        """Activations per layer; the last entry is P(y=1)."""
+        activations = [X]
+        a = X
+        n_layers = len(weights)
+        for i, (W, b) in enumerate(zip(weights, biases)):
+            z = a @ W + b
+            a = sigmoid(z) if i == n_layers - 1 else np.maximum(z, 0.0)
+            activations.append(a)
+        return activations
+
+    def _init_params(
+        self, d_in: int, rng: np.random.Generator
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        sizes = [d_in, *self.hidden_sizes, 1]
+        weights = []
+        biases = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            biases.append(np.zeros(fan_out))
+        return weights, biases
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "MLPClassifier":
+        X, y, w = validate_training_inputs(X, y, sample_weight)
+        rng = make_rng(self.seed)
+        n = len(y)
+
+        if self.early_stopping_fraction > 0 and n >= 50:
+            n_val = max(int(self.early_stopping_fraction * n), 1)
+            perm = rng.permutation(n)
+            val_idx, train_idx = perm[:n_val], perm[n_val:]
+            X_val, y_val, w_val = X[val_idx], y[val_idx], w[val_idx]
+            X, y, w = X[train_idx], y[train_idx], w[train_idx]
+            n = len(y)
+        else:
+            X_val = y_val = w_val = None
+
+        weights, biases = self._init_params(X.shape[1], rng)
+        params = weights + biases
+        m_state = [np.zeros_like(p) for p in params]
+        v_state = [np.zeros_like(p) for p in params]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        best_val = np.inf
+        best_params: list[np.ndarray] | None = None
+        stale = 0
+        self.loss_history_ = []
+        self.val_loss_history_ = []
+
+        for _ in range(self.n_epochs):
+            perm = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, self.batch_size):
+                idx = perm[start:start + self.batch_size]
+                Xb, yb, wb = X[idx], y[idx], w[idx]
+                activations = self._forward(Xb, weights, biases)
+                proba = activations[-1].ravel()
+                wb_norm = wb / max(wb.sum(), 1e-12)
+                epoch_loss += bce_loss(proba, yb, wb) * len(idx)
+
+                # backprop: d(loss)/d(z_out) = (p - y) for BCE+sigmoid
+                delta = ((proba - yb) * wb_norm)[:, None]
+                grads_w: list[np.ndarray] = []
+                grads_b: list[np.ndarray] = []
+                for layer in range(len(weights) - 1, -1, -1):
+                    a_prev = activations[layer]
+                    grads_w.append(a_prev.T @ delta + self.l2 * weights[layer])
+                    grads_b.append(delta.sum(axis=0))
+                    if layer > 0:
+                        delta = (delta @ weights[layer].T) * (
+                            activations[layer] > 0
+                        )
+                grads = list(reversed(grads_w)) + list(reversed(grads_b))
+
+                step += 1
+                for p, g, m_s, v_s in zip(params, grads, m_state, v_state):
+                    m_s *= beta1
+                    m_s += (1 - beta1) * g
+                    v_s *= beta2
+                    v_s += (1 - beta2) * g**2
+                    m_hat = m_s / (1 - beta1**step)
+                    v_hat = v_s / (1 - beta2**step)
+                    p -= self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+
+            self.loss_history_.append(epoch_loss / n)
+            if X_val is not None:
+                val_proba = self._forward(X_val, weights, biases)[-1].ravel()
+                val_loss = bce_loss(val_proba, y_val, w_val)
+                self.val_loss_history_.append(val_loss)
+                if val_loss < best_val - 1e-6:
+                    best_val = val_loss
+                    best_params = [p.copy() for p in params]
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale >= self.patience:
+                        break
+
+        if best_params is not None:
+            k = len(weights)
+            weights = best_params[:k]
+            biases = best_params[k:]
+        self.weights_ = weights
+        self.biases_ = biases
+        return self
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    def _require_fitted(self) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        if self.weights_ is None or self.biases_ is None:
+            raise NotFittedError("MLPClassifier.fit has not been called")
+        return self.weights_, self.biases_
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        weights, biases = self._require_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        return self._forward(X, weights, biases)[-1].ravel()
+
+    def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(X) > threshold).astype(np.int64)
+
+    def hidden(self, X: np.ndarray) -> np.ndarray:
+        """Penultimate activations — the model's learned embedding (the
+        output "prior to the final prediction layer")."""
+        weights, biases = self._require_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        return self._forward(X, weights, biases)[-2]
+
+    def head(self, H: np.ndarray) -> np.ndarray:
+        """Final prediction layer applied to an embedding ``H``."""
+        weights, biases = self._require_fitted()
+        H = np.asarray(H, dtype=np.float64)
+        return sigmoid(H @ weights[-1] + biases[-1]).ravel()
+
+    @property
+    def embedding_dim(self) -> int:
+        return self.hidden_sizes[-1]

@@ -1,0 +1,102 @@
+"""Vizier-like black-box hyper-parameter search.
+
+The paper tunes its TFX models with Google Vizier [Golovin et al.
+2017], a black-box optimization service.  Random search over a declared
+parameter space is its simplest member and is what we ship: trials are
+drawn deterministically from a seed, each trial's model is trained on
+the training split and scored on the validation split, and the best
+configuration (and its fitted model) are kept.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError, NotFittedError
+from repro.core.rng import make_rng
+from repro.models.base import Estimator
+from repro.models.metrics import auprc
+
+__all__ = ["RandomSearchTuner", "TrialResult"]
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """One evaluated configuration."""
+
+    params: dict[str, Any]
+    score: float
+
+
+@dataclass
+class RandomSearchTuner:
+    """Random search maximizing validation AUPRC (or a custom metric).
+
+    Parameters
+    ----------
+    model_factory:
+        Callable taking keyword parameters and returning an unfitted
+        estimator.
+    param_space:
+        Mapping of parameter name to the list of candidate values.
+    n_trials:
+        Number of random configurations to evaluate.
+    metric:
+        ``(scores, labels) -> float`` to maximize; defaults to AUPRC.
+    """
+
+    model_factory: Callable[..., Estimator]
+    param_space: Mapping[str, Sequence[Any]]
+    n_trials: int = 10
+    metric: Callable[[np.ndarray, np.ndarray], float] = auprc
+    seed: int = 0
+    trials_: list[TrialResult] = field(default_factory=list)
+    best_params_: dict[str, Any] | None = None
+    best_model_: Estimator | None = None
+    best_score_: float = -np.inf
+
+    def _sample_params(self, rng: np.random.Generator) -> dict[str, Any]:
+        return {
+            name: values[int(rng.integers(len(values)))]
+            for name, values in self.param_space.items()
+        }
+
+    def fit(
+        self,
+        X_train: np.ndarray,
+        y_train: np.ndarray,
+        X_val: np.ndarray,
+        y_val: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "RandomSearchTuner":
+        if self.n_trials < 1:
+            raise ConfigurationError("n_trials must be >= 1")
+        if not self.param_space:
+            raise ConfigurationError("param_space must not be empty")
+        rng = make_rng(self.seed)
+        seen: set[tuple] = set()
+        self.trials_ = []
+        for _ in range(self.n_trials):
+            params = self._sample_params(rng)
+            key = tuple(sorted((k, repr(v)) for k, v in params.items()))
+            if key in seen:
+                continue
+            seen.add(key)
+            model = self.model_factory(**params)
+            model.fit(X_train, y_train, sample_weight=sample_weight)
+            score = float(self.metric(model.predict_proba(X_val), y_val))
+            self.trials_.append(TrialResult(params=params, score=score))
+            if score > self.best_score_:
+                self.best_score_ = score
+                self.best_params_ = params
+                self.best_model_ = model
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.best_model_ is None:
+            raise NotFittedError("RandomSearchTuner.fit has not been called")
+        return self.best_model_.predict_proba(X)

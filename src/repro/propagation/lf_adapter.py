@@ -1,0 +1,120 @@
+"""Turn propagation scores into labeling functions (paper §4.4).
+
+The converged score "is used to construct a threshold-based LF, but can
+also be used as a form of probabilistic label", with thresholds tuned
+on "a development set of labeled examples in existing modalities".  The
+score is attached to the feature table as a *nonservable* numeric
+feature (running propagation at serving time is too costly), and two
+threshold LFs are emitted: high score -> positive, low score ->
+negative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import GraphError
+from repro.features.schema import FeatureKind, FeatureSpec
+from repro.labeling.lf import NEGATIVE, POSITIVE, LabelingFunction, numeric_threshold_lf
+
+__all__ = ["PROPAGATION_FEATURE", "propagation_feature_spec", "propagation_lfs", "tune_threshold"]
+
+#: reserved feature name for the propagation score column
+PROPAGATION_FEATURE = "label_prop_score"
+
+
+def propagation_feature_spec() -> FeatureSpec:
+    """Spec for the propagation-score feature (nonservable numeric)."""
+    return FeatureSpec(
+        name=PROPAGATION_FEATURE,
+        kind=FeatureKind.NUMERIC,
+        servable=False,
+        service_set="PROP",
+        description="converged label-propagation score (nonservable)",
+    )
+
+
+def tune_threshold(
+    dev_scores: np.ndarray,
+    dev_labels: np.ndarray,
+    target_precision: float,
+    polarity: int,
+    min_matches: int = 10,
+) -> float | None:
+    """Find the loosest threshold achieving ``target_precision`` on dev.
+
+    For ``polarity`` POSITIVE, candidates are "score >= t" rules and
+    precision is measured against positives; for NEGATIVE, "score <= t"
+    rules against negatives.  Returns ``None`` when no threshold with at
+    least ``min_matches`` dev matches reaches the target.
+    """
+    dev_scores = np.asarray(dev_scores, dtype=float)
+    dev_labels = np.asarray(dev_labels, dtype=int)
+    if dev_scores.shape != dev_labels.shape:
+        raise GraphError("dev scores and labels must align")
+    order = np.argsort(-dev_scores if polarity == POSITIVE else dev_scores)
+    sorted_labels = dev_labels[order]
+    sorted_scores = dev_scores[order]
+    target_class = 1 if polarity == POSITIVE else 0
+    hits = np.cumsum(sorted_labels == target_class)
+    counts = np.arange(1, len(sorted_labels) + 1)
+    precision = hits / counts
+    valid = (precision >= target_precision) & (counts >= min_matches)
+    if not valid.any():
+        return None
+    # loosest threshold = furthest point down the ranking still valid
+    last = int(np.flatnonzero(valid)[-1])
+    return float(sorted_scores[last])
+
+
+def propagation_lfs(
+    dev_scores: np.ndarray,
+    dev_labels: np.ndarray,
+    positive_precisions: tuple[float, ...] = (0.9, 0.75, 0.6),
+    negative_precisions: tuple[float, ...] = (0.999, 0.995, 0.985),
+    feature: str = PROPAGATION_FEATURE,
+) -> list[LabelingFunction]:
+    """Build graded propagation threshold LFs.
+
+    One positive LF per precision target (nested thresholds give the
+    label model a *graded* view of the propagation score, which the
+    paper notes "can also be used as a form of probabilistic label"),
+    and symmetrically for negatives.  ``dev_scores`` must come from
+    labeled old-modality points that were *held out of the seed set*
+    (clamped seeds trivially score their own label, so tuning on them
+    would be degenerate).
+    """
+    lfs: list[LabelingFunction] = []
+    seen: set[float] = set()
+    for target in positive_precisions:
+        upper = tune_threshold(dev_scores, dev_labels, target, POSITIVE)
+        if upper is None or upper in seen:
+            continue
+        seen.add(upper)
+        lfs.append(
+            numeric_threshold_lf(
+                f"prop_pos[p{int(target * 100)}]",
+                feature,
+                upper,
+                POSITIVE,
+                direction="above",
+                origin="propagation",
+            )
+        )
+    seen.clear()
+    for target in negative_precisions:
+        lower = tune_threshold(dev_scores, dev_labels, target, NEGATIVE)
+        if lower is None or lower in seen:
+            continue
+        seen.add(lower)
+        lfs.append(
+            numeric_threshold_lf(
+                f"prop_neg[p{round(target * 100, 1)}]",
+                feature,
+                lower,
+                NEGATIVE,
+                direction="below",
+                origin="propagation",
+            )
+        )
+    return lfs

@@ -1,0 +1,77 @@
+"""Streaming label propagation (Expander-style approximation).
+
+The paper runs label propagation on Expander, a "large-scale
+graph-based machine learning platform for streaming, distributed label
+propagation" [Ravi & Diao 2016].  The streaming approximation updates
+each node's distribution from its neighbours' *current* estimates in a
+fixed number of asynchronous sweeps over the node stream, instead of
+iterating a synchronous operator to convergence.  It trades a little
+accuracy for a bounded, single-digit number of passes — the ablation
+bench quantifies the gap against the exact solver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import GraphError
+from repro.propagation.graph import SimilarityGraph
+from repro.propagation.propagate import PropagationResult
+
+__all__ = ["StreamingLabelPropagation"]
+
+
+class StreamingLabelPropagation:
+    """Fixed-sweep asynchronous (Gauss–Seidel) label propagation."""
+
+    def __init__(self, n_sweeps: int = 3, prior: float = 0.5) -> None:
+        if n_sweeps < 1:
+            raise GraphError(f"n_sweeps must be >= 1, got {n_sweeps}")
+        self.n_sweeps = n_sweeps
+        self.prior = prior
+
+    def run(
+        self,
+        graph: SimilarityGraph,
+        seed_indices: np.ndarray,
+        seed_labels: np.ndarray,
+    ) -> PropagationResult:
+        n = graph.n_nodes
+        seed_indices = np.asarray(seed_indices, dtype=np.int64)
+        seed_labels = np.asarray(seed_labels, dtype=np.int64)
+        if len(seed_indices) == 0:
+            raise GraphError("label propagation requires at least one seed")
+
+        is_seed = np.zeros(n, dtype=bool)
+        is_seed[seed_indices] = True
+        scores = np.full(n, self.prior)
+        scores[seed_indices] = seed_labels.astype(float)
+        reached = is_seed.copy()
+
+        W = graph.adjacency
+        indptr, indices, data = W.indptr, W.indices, W.data
+        for _ in range(self.n_sweeps):
+            # stream nodes in index order; each unlabeled node averages
+            # its neighbours' *latest* scores (asynchronous update)
+            for node in range(n):
+                if is_seed[node]:
+                    continue
+                start, stop = indptr[node], indptr[node + 1]
+                if start == stop:
+                    continue
+                neigh = indices[start:stop]
+                weights = data[start:stop]
+                total = weights.sum()
+                if total <= 0:
+                    continue
+                scores[node] = float(weights @ scores[neigh] / total)
+                if reached[neigh].any():
+                    reached[node] = True
+        scores = np.clip(scores, 0.0, 1.0)
+        scores[~reached] = self.prior
+        return PropagationResult(
+            scores=scores,
+            n_iterations=self.n_sweeps,
+            converged=False,
+            reached=reached,
+        )

@@ -1,0 +1,36 @@
+"""Simulated organizational resources (paper §3).
+
+Organizational resources are tools and services that take data points of
+various modalities as input and return categorical or quantitative
+outputs: model-based services (topic models, object detectors, named-
+entity extractors, page-content models), aggregate statistics keyed by
+metadata (user / URL / keyword), and rule-based services (team
+heuristics).
+
+Each simulated service reads the data point's hidden latent state — or,
+where natural, its rendered payload — through a *modality-dependent
+noisy channel*.  That is the crux of the substitution argument: a real
+topic model is an imperfect, modality-dependent observer of the true
+content, and so are these.
+"""
+
+from repro.resources.base import (
+    ChannelNoise,
+    LatentCategoricalService,
+    OrganizationalResource,
+)
+from repro.resources.aggregates import AggregateStore
+from repro.resources.catalog import ResourceCatalog
+from repro.resources.service_sets import SERVICE_SETS, build_resource_suite
+from repro.resources.featurize import featurize_corpus
+
+__all__ = [
+    "AggregateStore",
+    "ChannelNoise",
+    "LatentCategoricalService",
+    "OrganizationalResource",
+    "ResourceCatalog",
+    "SERVICE_SETS",
+    "build_resource_suite",
+    "featurize_corpus",
+]

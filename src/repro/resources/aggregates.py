@@ -1,0 +1,224 @@
+"""Aggregate statistics and metadata services (paper §3.1.1).
+
+Teams "have been deploying classification models while collecting
+metadata for several years" and can therefore "compute aggregate
+statistics from the outputs of these models across users, customers,
+URLs, topics and categories".  :class:`AggregateStore` simulates that
+history: it samples historical posts from the world, labels them with
+the (already deployed) task concept, and accumulates beta-smoothed
+positive rates keyed by user / URL category / keyword / topic / page
+category.  Aggregate services then join a new data point to the store
+via its metadata (exact user-id and URL joins; noisy keyword joins).
+
+The store is built from *historical* traffic independent of every
+evaluation corpus, so using its outputs as features is legitimate
+organizational signal, not leakage.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.core.rng import spawn
+from repro.datagen.entities import DataPoint, Modality
+from repro.datagen.world import TaskRuntime, World
+from repro.features.schema import FeatureKind, FeatureSpec
+from repro.resources.base import OrganizationalResource
+
+__all__ = [
+    "AggregateStore",
+    "UserReportCountService",
+    "UrlRiskService",
+    "KeywordRiskService",
+    "TopicSensitivityService",
+    "PageRiskService",
+]
+
+
+class AggregateStore:
+    """Historical per-key positive-rate statistics for one task."""
+
+    def __init__(
+        self,
+        world: World,
+        task: TaskRuntime,
+        n_history: int = 30_000,
+        smoothing: float = 60.0,
+        seed: int = 0,
+    ) -> None:
+        self.world = world
+        self.task = task
+        self.n_history = n_history
+        self.smoothing = smoothing
+        self._base_rate = task.definition.target_positive_rate
+        rng = spawn(seed, f"aggregate-history-{task.name}")
+
+        user_pos: dict[int, int] = defaultdict(int)
+        key_counts: dict[str, dict[int, list[int]]] = {
+            family: defaultdict(lambda: [0, 0])
+            for family in ("url", "keyword", "topic", "page")
+        }
+        for i in range(n_history):
+            point = world.generate_point(task, Modality.TEXT, point_id=-1 - i, rng=rng)
+            label = point.label
+            if label:
+                user_pos[point.user_id] += 1
+            latent = point.latent
+            self._bump(key_counts["url"], (latent.url_category,), label)
+            self._bump(key_counts["keyword"], latent.keywords, label)
+            self._bump(key_counts["topic"], latent.topics, label)
+            self._bump(key_counts["page"], latent.page_categories, label)
+
+        self._user_report_count = {
+            user: count + int(world.users.report_count[user])
+            for user, count in user_pos.items()
+        }
+        self._counts = {
+            family: {key: (pos, total) for key, (pos, total) in counts.items()}
+            for family, counts in key_counts.items()
+        }
+
+    @staticmethod
+    def _bump(
+        counts: dict[int, list[int]], keys: tuple[int, ...], label: int
+    ) -> None:
+        for key in keys:
+            entry = counts[key]
+            entry[0] += label
+            entry[1] += 1
+
+    def _smooth(self, positives: int, total: int, smoothing: float) -> float:
+        """Beta-smoothed positive rate, pulled toward the base rate."""
+        return (positives + smoothing * self._base_rate) / (total + smoothing)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def user_report_count(self, user_id: int) -> float:
+        base = float(self.world.users.report_count[user_id])
+        return float(self._user_report_count.get(user_id, base))
+
+    def rate(self, family: str, key: int, smoothing: float | None = None) -> float:
+        """Smoothed historical positive rate for one key.
+
+        ``smoothing`` overrides the store default — expensive-to-serve
+        (nonservable) statistics are computed at lower smoothing,
+        i.e. higher fidelity, than what the online serving path can
+        afford.
+        """
+        s = self.smoothing if smoothing is None else smoothing
+        pos, total = self._counts[family].get(key, (0, 0))
+        return self._smooth(pos, total, s)
+
+    def mean_rate(
+        self, family: str, keys: tuple[int, ...], smoothing: float | None = None
+    ) -> float:
+        if not keys:
+            return self._base_rate
+        return float(np.mean([self.rate(family, k, smoothing) for k in keys]))
+
+    def max_rate(
+        self, family: str, keys: tuple[int, ...], smoothing: float | None = None
+    ) -> float:
+        if not keys:
+            return self._base_rate
+        return float(max(self.rate(family, k, smoothing) for k in keys))
+
+
+class _AggregateService(OrganizationalResource):
+    """Base for numeric services backed by an :class:`AggregateStore`."""
+
+    def __init__(self, spec: FeatureSpec, store: AggregateStore) -> None:
+        if spec.kind is not FeatureKind.NUMERIC:
+            raise ValueError(f"aggregate service {spec.name!r} must be numeric")
+        super().__init__(spec)
+        self._store = store
+
+
+class UserReportCountService(_AggregateService):
+    """Times the posting user has been reported (exact user-id join)."""
+
+    def _compute(self, point: DataPoint, rng: np.random.Generator) -> float:
+        # The join is exact (user id is metadata); add small counting
+        # noise to model reporting lag.
+        count = self._store.user_report_count(point.user_id)
+        return float(max(count + rng.normal(0.0, 0.5), 0.0))
+
+
+class UrlRiskService(_AggregateService):
+    """Historical positive rate of the post's URL category (exact join)."""
+
+    def _compute(self, point: DataPoint, rng: np.random.Generator) -> float:
+        return float(self._store.rate("url", point.latent.url_category))
+
+
+class KeywordRiskService(_AggregateService):
+    """Max historical positive rate over the post's keywords.
+
+    The keyword join is noisy for non-text modalities (keywords must be
+    extracted by a captioning model first), so a fraction of keywords is
+    missed there.
+    """
+
+    def __init__(
+        self,
+        spec: FeatureSpec,
+        store: AggregateStore,
+        miss_prob: dict[Modality, float] | None = None,
+    ) -> None:
+        super().__init__(spec, store)
+        self._miss_prob = miss_prob or {
+            Modality.TEXT: 0.05,
+            Modality.IMAGE: 0.35,
+            Modality.VIDEO: 0.30,
+        }
+
+    def _compute(self, point: DataPoint, rng: np.random.Generator) -> float:
+        miss = self._miss_prob.get(point.modality, 0.0)
+        observed = tuple(
+            k for k in point.latent.keywords if rng.random() >= miss
+        )
+        return self._store.max_rate("keyword", observed)
+
+
+#: smoothing used by the nonservable, curation-only statistics — the
+#: offline pipeline can afford the full-fidelity (lightly smoothed)
+#: join that the serving path cannot (paper §4.1 / Figure 5 bottom)
+NONSERVABLE_SMOOTHING = 2.0
+
+
+class TopicSensitivityService(_AggregateService):
+    """Mean historical positive rate over the post's topics.
+
+    Marked nonservable in the standard suite: the topic-rate join is too
+    expensive to serve online, so it is available only for training-data
+    curation (paper §4.1).
+    """
+
+    def _compute(self, point: DataPoint, rng: np.random.Generator) -> float:
+        return self._store.mean_rate(
+            "topic", point.latent.topics, smoothing=NONSERVABLE_SMOOTHING
+        )
+
+
+#: probability that page context resolves per modality (image/video
+#: posts frequently lack a crawlable linked page)
+PAGE_AVAILABILITY = {
+    Modality.TEXT: 0.95,
+    Modality.IMAGE: 0.60,
+    Modality.VIDEO: 0.55,
+}
+
+
+class PageRiskService(_AggregateService):
+    """Mean historical positive rate over linked-page categories
+    (nonservable in the standard suite, like `TopicSensitivityService`)."""
+
+    def _compute(self, point: DataPoint, rng: np.random.Generator) -> float | None:
+        if rng.random() >= PAGE_AVAILABILITY.get(point.modality, 1.0):
+            return None
+        return self._store.mean_rate(
+            "page", point.latent.page_categories, smoothing=NONSERVABLE_SMOOTHING
+        )

@@ -1,0 +1,198 @@
+"""Resource base classes and noisy observation channels.
+
+An :class:`OrganizationalResource` emits exactly one feature (per the
+paper: "a set of k resources will return k features").  Categorical
+services observe a latent attribute family through a
+:class:`ChannelNoise` that differs by modality — text services are
+usually the most faithful, image services drop more, and video services
+observe frame-wise — which creates the cross-modal feature-distribution
+shift the paper reports (§6.6).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exceptions import ModalityError, ResourceError
+from repro.datagen.entities import DataPoint, LatentState, Modality
+from repro.features.schema import FeatureKind, FeatureSpec
+
+__all__ = ["ChannelNoise", "OrganizationalResource", "LatentCategoricalService"]
+
+
+@dataclass(frozen=True)
+class ChannelNoise:
+    """How faithfully a service observes a latent attribute set.
+
+    ``drop`` — probability each true value is missed;
+    ``spurious`` — expected number of spurious values added (Poisson);
+    ``swap`` — probability a surviving value is replaced by a random one;
+    ``availability`` — probability the service returns anything at all
+    for a point of this modality (a missing feature, e.g. no linked
+    page resolved for an image post — a major source of cross-modal
+    distribution shift).
+    """
+
+    drop: float = 0.0
+    spurious: float = 0.0
+    swap: float = 0.0
+    availability: float = 1.0
+
+    def observe(
+        self,
+        values: tuple[int, ...],
+        universe: int,
+        rng: np.random.Generator,
+    ) -> tuple[int, ...]:
+        """Pass ``values`` (attribute ids) through the channel."""
+        observed: list[int] = []
+        for value in values:
+            if rng.random() < self.drop:
+                continue
+            if self.swap > 0 and rng.random() < self.swap:
+                value = int(rng.integers(universe))
+            observed.append(value)
+        n_spurious = int(rng.poisson(self.spurious)) if self.spurious > 0 else 0
+        for _ in range(n_spurious):
+            observed.append(int(rng.integers(universe)))
+        return tuple(sorted(set(observed)))
+
+
+class OrganizationalResource(abc.ABC):
+    """A service mapping a data point to one feature value.
+
+    Subclasses implement :meth:`_compute`; :meth:`apply` adds modality
+    validation.  Resources must be deterministic given the caller's
+    ``rng`` (the featurization pipeline derives one rng per point so
+    featurization is reproducible and order-independent).
+    """
+
+    def __init__(self, spec: FeatureSpec) -> None:
+        self._spec = spec
+
+    @property
+    def spec(self) -> FeatureSpec:
+        return self._spec
+
+    @property
+    def name(self) -> str:
+        return self._spec.name
+
+    def supports(self, modality: Modality) -> bool:
+        return self._spec.available_for(modality)
+
+    def apply(self, point: DataPoint, rng: np.random.Generator) -> object:
+        """Compute this resource's feature value for ``point``.
+
+        A return of ``None`` means the service produced no output for
+        this point (stored as a missing value in the feature table).
+        """
+        if not self.supports(point.modality):
+            raise ModalityError(
+                f"resource {self.name!r} does not support modality "
+                f"{point.modality.value!r}"
+            )
+        value = self._compute(point, rng)
+        if value is None:
+            return None
+        self._spec_check(value)
+        return value
+
+    def _spec_check(self, value: object) -> None:
+        kind = self._spec.kind
+        if kind is FeatureKind.CATEGORICAL and not isinstance(value, frozenset):
+            raise ResourceError(
+                f"categorical resource {self.name!r} must return frozenset, "
+                f"got {type(value).__name__}"
+            )
+        if kind is FeatureKind.NUMERIC and not isinstance(value, float):
+            raise ResourceError(
+                f"numeric resource {self.name!r} must return float, "
+                f"got {type(value).__name__}"
+            )
+        if kind is FeatureKind.EMBEDDING and not isinstance(value, np.ndarray):
+            raise ResourceError(
+                f"embedding resource {self.name!r} must return ndarray, "
+                f"got {type(value).__name__}"
+            )
+
+    @abc.abstractmethod
+    def _compute(self, point: DataPoint, rng: np.random.Generator) -> object:
+        """Subclass hook: compute the raw feature value."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class LatentCategoricalService(OrganizationalResource):
+    """A model-based service observing one latent attribute family.
+
+    Parameters
+    ----------
+    spec:
+        Feature spec (must be categorical).
+    extractor:
+        Reads the true attribute ids from the latent state (e.g.
+        ``lambda latent: latent.topics``).
+    universe:
+        Size of the attribute family's id space.
+    prefix:
+        String prefix for rendered values (``"t"`` -> ``"t12"``).
+    noise:
+        Per-modality observation channel.  Modalities missing from the
+        mapping reuse :class:`ChannelNoise` defaults (noise-free).
+    """
+
+    def __init__(
+        self,
+        spec: FeatureSpec,
+        extractor: Callable[[LatentState], tuple[int, ...]],
+        universe: int,
+        prefix: str,
+        noise: dict[Modality, ChannelNoise] | None = None,
+    ) -> None:
+        if spec.kind is not FeatureKind.CATEGORICAL:
+            raise ResourceError(
+                f"LatentCategoricalService requires a categorical spec; "
+                f"{spec.name!r} is {spec.kind.value}"
+            )
+        super().__init__(spec)
+        self._extractor = extractor
+        self._universe = universe
+        self._prefix = prefix
+        self._noise = dict(noise or {})
+
+    def channel(self, modality: Modality) -> ChannelNoise:
+        return self._noise.get(modality, ChannelNoise())
+
+    def _observe_ids(
+        self, point: DataPoint, rng: np.random.Generator
+    ) -> tuple[int, ...]:
+        true_values = self._extractor(point.latent)
+        channel = self.channel(point.modality)
+        if point.modality is Modality.VIDEO:
+            # Video is observed frame-wise: the video-splitting tool
+            # extracts frames and the image service runs on each; the
+            # union of per-frame observations is the video-level output.
+            n_frames = getattr(point.payload, "n_frames", 3)
+            per_frame = [
+                channel.observe(true_values, self._universe, rng)
+                for _ in range(min(n_frames, 4))
+            ]
+            merged: set[int] = set()
+            for frame_values in per_frame:
+                merged.update(frame_values)
+            return tuple(sorted(merged))
+        return channel.observe(true_values, self._universe, rng)
+
+    def _compute(
+        self, point: DataPoint, rng: np.random.Generator
+    ) -> frozenset[str] | None:
+        if rng.random() >= self.channel(point.modality).availability:
+            return None
+        ids = self._observe_ids(point, rng)
+        return frozenset(f"{self._prefix}{i}" for i in ids)

@@ -1,0 +1,202 @@
+"""Resource catalog: discovery, selection, and quality validation.
+
+The paper's §7.1 notes that as the number of available resources grows
+it becomes hard to discover which are useful, and that "a low quality
+feature/organizational resource might negatively impact performance if
+it were selected via automated processes without validation".  The
+catalog therefore offers (a) structured lookup by service set, modality,
+and servability, and (b) a quality-validation pass that scores each
+resource's single-feature discriminative power against a labeled
+development corpus.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.exceptions import ResourceError
+from repro.datagen.entities import Modality
+from repro.features.schema import FeatureKind, FeatureSchema
+from repro.features.table import MISSING, FeatureTable
+from repro.resources.base import OrganizationalResource
+
+__all__ = ["ResourceCatalog", "ResourceQualityReport"]
+
+
+class ResourceQualityReport:
+    """Per-resource discriminative-power scores against a dev set."""
+
+    def __init__(self, scores: dict[str, float], base_rate: float) -> None:
+        self.scores = dict(scores)
+        self.base_rate = base_rate
+
+    def ranked(self) -> list[tuple[str, float]]:
+        """Resources sorted by score, best first."""
+        return sorted(self.scores.items(), key=lambda kv: -kv[1])
+
+    def weak(self, threshold: float = 0.02) -> list[str]:
+        """Resources whose score is below ``threshold`` (candidates to
+        exclude before automated selection)."""
+        return [name for name, score in self.scores.items() if score < threshold]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        top = ", ".join(f"{n}={s:.3f}" for n, s in self.ranked()[:3])
+        return f"ResourceQualityReport(top: {top})"
+
+
+class ResourceCatalog:
+    """An ordered registry of organizational resources."""
+
+    def __init__(self, resources: Iterable[OrganizationalResource] = ()) -> None:
+        self._resources: dict[str, OrganizationalResource] = {}
+        for resource in resources:
+            self.register(resource)
+
+    def register(self, resource: OrganizationalResource) -> None:
+        if resource.name in self._resources:
+            raise ResourceError(f"duplicate resource {resource.name!r}")
+        self._resources[resource.name] = resource
+
+    def unregister(self, name: str) -> None:
+        if name not in self._resources:
+            raise ResourceError(f"unknown resource {name!r}")
+        del self._resources[name]
+
+    def __len__(self) -> int:
+        return len(self._resources)
+
+    def __iter__(self) -> Iterator[OrganizationalResource]:
+        return iter(self._resources.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._resources
+
+    def get(self, name: str) -> OrganizationalResource:
+        try:
+            return self._resources[name]
+        except KeyError:
+            raise ResourceError(f"unknown resource {name!r}") from None
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._resources)
+
+    def schema(self) -> FeatureSchema:
+        """Feature schema induced by the registered resources."""
+        return FeatureSchema(r.spec for r in self)
+
+    def select(
+        self,
+        service_sets: Iterable[str] | None = None,
+        modality: Modality | None = None,
+        servable_only: bool = False,
+    ) -> list[OrganizationalResource]:
+        """Resources filtered by service set / modality / servability."""
+        keep_sets = None if service_sets is None else set(service_sets)
+        out = []
+        for resource in self:
+            spec = resource.spec
+            if keep_sets is not None and spec.service_set not in keep_sets:
+                continue
+            if modality is not None and not resource.supports(modality):
+                continue
+            if servable_only and not spec.servable:
+                continue
+            out.append(resource)
+        return out
+
+    def service_sets(self) -> list[str]:
+        return sorted({r.spec.service_set for r in self if r.spec.service_set})
+
+    # ------------------------------------------------------------------
+    # quality validation
+    # ------------------------------------------------------------------
+    def validate_quality(self, table: FeatureTable) -> ResourceQualityReport:
+        """Score each resource's feature against the table's labels.
+
+        The score is the best lift-over-base-rate achievable by a
+        single-value predicate on the feature (categorical) or by the
+        better-ordered direction of the feature (numeric, via a rank
+        statistic).  It is deliberately the same signal itemset mining
+        exploits, so a low score predicts the resource will not yield
+        useful LFs either.
+        """
+        if table.labels is None:
+            raise ResourceError("quality validation requires a labeled table")
+        labels = table.labels
+        base_rate = float(labels.mean())
+        scores: dict[str, float] = {}
+        for resource in self:
+            name = resource.name
+            if name not in table.schema:
+                continue
+            spec = resource.spec
+            if spec.kind is FeatureKind.CATEGORICAL:
+                scores[name] = self._categorical_score(
+                    table.column(name), labels, base_rate
+                )
+            elif spec.kind is FeatureKind.NUMERIC:
+                scores[name] = self._numeric_score(table.column(name), labels)
+            else:
+                scores[name] = self._embedding_score(table.column(name), labels)
+        return ResourceQualityReport(scores, base_rate)
+
+    @staticmethod
+    def _categorical_score(
+        column: list[object], labels: np.ndarray, base_rate: float
+    ) -> float:
+        from collections import defaultdict
+
+        counts: dict[str, list[int]] = defaultdict(lambda: [0, 0])
+        for value, label in zip(column, labels):
+            if value is MISSING:
+                continue
+            for token in value:  # type: ignore[union-attr]
+                counts[token][0] += int(label)
+                counts[token][1] += 1
+        best = 0.0
+        for pos, total in counts.values():
+            if total < 20:
+                continue
+            precision = pos / total
+            best = max(best, precision - base_rate)
+        return best
+
+    @staticmethod
+    def _numeric_score(column: list[object], labels: np.ndarray) -> float:
+        values = np.array(
+            [float(v) if v is not MISSING else np.nan for v in column]  # type: ignore[arg-type]
+        )
+        mask = ~np.isnan(values)
+        if mask.sum() < 20 or labels[mask].sum() == 0:
+            return 0.0
+        pos = values[mask][labels[mask] == 1]
+        neg = values[mask][labels[mask] == 0]
+        if len(pos) == 0 or len(neg) == 0:
+            return 0.0
+        # rank-sum AUC, folded so either direction counts
+        from scipy.stats import mannwhitneyu
+
+        stat, _ = mannwhitneyu(pos, neg, alternative="two-sided")
+        auc = stat / (len(pos) * len(neg))
+        return abs(float(auc) - 0.5) * 2.0 * 0.25  # scale into lift-like units
+
+    @staticmethod
+    def _embedding_score(column: list[object], labels: np.ndarray) -> float:
+        rows = [
+            (np.asarray(v, dtype=float), y)
+            for v, y in zip(column, labels)
+            if v is not MISSING
+        ]
+        if len(rows) < 20:
+            return 0.0
+        X = np.stack([r[0] for r in rows])
+        y = np.array([r[1] for r in rows])
+        if y.sum() == 0 or y.sum() == len(y):
+            return 0.0
+        mu_pos = X[y == 1].mean(axis=0)
+        mu_neg = X[y == 0].mean(axis=0)
+        spread = X.std(axis=0).mean() + 1e-9
+        return float(np.linalg.norm(mu_pos - mu_neg) / (spread * np.sqrt(X.shape[1]))) * 0.25

@@ -1,0 +1,297 @@
+"""Model-based services: topic models, detectors, extractors, embeddings.
+
+These simulate the classification/processing services the paper's team
+queries: "topic models that categorize content; ... knowledge graph
+querying tools to extract entities"; page-content models that "apply to
+web pages and auxiliary information regarding the data points"; and the
+pretrained image embeddings (organization-wide and generic CNN).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ResourceError
+from repro.datagen.entities import DataPoint, ImagePayload, Modality, TextPayload, VideoPayload
+from repro.features.schema import FeatureKind, FeatureSpec
+from repro.resources.base import ChannelNoise, LatentCategoricalService, OrganizationalResource
+
+__all__ = [
+    "TopicModelService",
+    "ContentCategoryService",
+    "NamedEntityService",
+    "ObjectDetectionService",
+    "KeywordExtractionService",
+    "UrlCategoryService",
+    "PageCategoryService",
+    "PageTopicService",
+    "PageEntityService",
+    "LanguageDetectionService",
+    "LandingQualityService",
+    "OrgEmbeddingService",
+    "GenericEmbeddingService",
+    "ImageQualityService",
+]
+
+
+class TopicModelService(LatentCategoricalService):
+    """Org-wide topic model applied directly to the data point."""
+
+    def __init__(self, spec: FeatureSpec, n_topics: int) -> None:
+        super().__init__(
+            spec,
+            extractor=lambda latent: latent.topics,
+            universe=n_topics,
+            prefix="t",
+            noise={
+                Modality.TEXT: ChannelNoise(drop=0.06, spurious=0.12),
+                Modality.IMAGE: ChannelNoise(drop=0.30, spurious=0.50, swap=0.12),
+                Modality.VIDEO: ChannelNoise(drop=0.35, spurious=0.40, swap=0.14),
+            },
+        )
+
+
+class ContentCategoryService(LatentCategoricalService):
+    """Coarse content category: topics mapped through an org taxonomy."""
+
+    def __init__(self, spec: FeatureSpec, n_topics: int, n_categories: int = 12) -> None:
+        super().__init__(
+            spec,
+            extractor=lambda latent: tuple(
+                sorted({t % n_categories for t in latent.topics})
+            ),
+            universe=n_categories,
+            prefix="cat",
+            noise={
+                Modality.TEXT: ChannelNoise(drop=0.05, spurious=0.05),
+                Modality.IMAGE: ChannelNoise(drop=0.20, spurious=0.15, swap=0.08),
+                Modality.VIDEO: ChannelNoise(drop=0.25, spurious=0.15, swap=0.10),
+            },
+        )
+
+
+class NamedEntityService(LatentCategoricalService):
+    """Knowledge-graph entity extraction (more reliable on text)."""
+
+    def __init__(self, spec: FeatureSpec, n_entities: int) -> None:
+        super().__init__(
+            spec,
+            extractor=lambda latent: latent.entities,
+            universe=n_entities,
+            prefix="e",
+            noise={
+                Modality.TEXT: ChannelNoise(drop=0.10, spurious=0.10),
+                Modality.IMAGE: ChannelNoise(drop=0.55, spurious=0.35, swap=0.12),
+                Modality.VIDEO: ChannelNoise(drop=0.60, spurious=0.30, swap=0.12),
+            },
+        )
+
+
+class ObjectDetectionService(LatentCategoricalService):
+    """Object detector: reads rendered pixels for image/video, and the
+    latent mentions (very noisily) for text."""
+
+    def __init__(self, spec: FeatureSpec, n_objects: int) -> None:
+        super().__init__(
+            spec,
+            extractor=lambda latent: latent.objects,
+            universe=n_objects,
+            prefix="o",
+            noise={
+                Modality.TEXT: ChannelNoise(drop=0.45, spurious=0.10),
+                Modality.IMAGE: ChannelNoise(drop=0.08, spurious=0.25),
+                Modality.VIDEO: ChannelNoise(drop=0.20, spurious=0.20),
+            },
+        )
+
+    def _observe_ids(self, point: DataPoint, rng: np.random.Generator):
+        # For rendered visual modalities, detect over what is actually
+        # visible in the payload rather than the latent ground truth.
+        if point.modality is Modality.IMAGE:
+            payload = point.payload
+            assert isinstance(payload, ImagePayload)
+            channel = self.channel(Modality.IMAGE)
+            return channel.observe(payload.visible_objects, self._universe, rng)
+        if point.modality is Modality.VIDEO:
+            payload = point.payload
+            assert isinstance(payload, VideoPayload)
+            channel = self.channel(Modality.VIDEO)
+            merged: set[int] = set()
+            for frame in payload.frames[:4]:
+                merged.update(
+                    channel.observe(frame.visible_objects, self._universe, rng)
+                )
+            return tuple(sorted(merged))
+        return super()._observe_ids(point, rng)
+
+
+class KeywordExtractionService(OrganizationalResource):
+    """Keyword extraction.
+
+    Text: parsed from the rendered token stream (a real extraction, not
+    a latent read).  Image/video: produced by a captioning model, which
+    misses many keywords and hallucinates a few.
+    """
+
+    def __init__(self, spec: FeatureSpec, n_keywords: int) -> None:
+        if spec.kind is not FeatureKind.CATEGORICAL:
+            raise ResourceError("keyword service must be categorical")
+        super().__init__(spec)
+        self._n_keywords = n_keywords
+        self._caption_channel = ChannelNoise(drop=0.45, spurious=0.60)
+        self._video_channel = ChannelNoise(drop=0.40, spurious=0.45)
+
+    def _compute(self, point: DataPoint, rng: np.random.Generator) -> frozenset[str]:
+        if point.modality is Modality.TEXT:
+            payload = point.payload
+            assert isinstance(payload, TextPayload)
+            return frozenset(t for t in payload.tokens if t.startswith("kw"))
+        channel = (
+            self._video_channel
+            if point.modality is Modality.VIDEO
+            else self._caption_channel
+        )
+        observed = channel.observe(point.latent.keywords, self._n_keywords, rng)
+        return frozenset(f"kw{i}" for i in observed)
+
+
+class UrlCategoryService(LatentCategoricalService):
+    """URL categorization from post metadata (exact for all modalities;
+    a URL is a URL regardless of the post's content type)."""
+
+    def __init__(self, spec: FeatureSpec, n_url_categories: int) -> None:
+        super().__init__(
+            spec,
+            extractor=lambda latent: (latent.url_category,),
+            universe=n_url_categories,
+            prefix="u",
+            noise={},
+        )
+
+
+class PageCategoryService(LatentCategoricalService):
+    """Categories of the web page the post links to."""
+
+    def __init__(self, spec: FeatureSpec, n_page_categories: int) -> None:
+        super().__init__(
+            spec,
+            extractor=lambda latent: latent.page_categories,
+            universe=n_page_categories,
+            prefix="p",
+            noise={
+                Modality.TEXT: ChannelNoise(drop=0.10, spurious=0.10, availability=0.95),
+                Modality.IMAGE: ChannelNoise(drop=0.15, spurious=0.12, availability=0.60),
+                Modality.VIDEO: ChannelNoise(drop=0.18, spurious=0.12, availability=0.55),
+            },
+        )
+
+
+class PageTopicService(LatentCategoricalService):
+    """Topic model applied to the linked page (an auxiliary view of the
+    same topics, through an independent channel)."""
+
+    def __init__(self, spec: FeatureSpec, n_topics: int) -> None:
+        super().__init__(
+            spec,
+            extractor=lambda latent: latent.topics,
+            universe=n_topics,
+            prefix="t",
+            noise={
+                Modality.TEXT: ChannelNoise(drop=0.20, spurious=0.20, availability=0.95),
+                Modality.IMAGE: ChannelNoise(drop=0.25, spurious=0.22, availability=0.60),
+                Modality.VIDEO: ChannelNoise(drop=0.28, spurious=0.22, availability=0.55),
+            },
+        )
+
+
+class PageEntityService(LatentCategoricalService):
+    """Entities extracted from the linked page."""
+
+    def __init__(self, spec: FeatureSpec, n_entities: int) -> None:
+        super().__init__(
+            spec,
+            extractor=lambda latent: latent.entities,
+            universe=n_entities,
+            prefix="e",
+            noise={
+                Modality.TEXT: ChannelNoise(drop=0.25, spurious=0.15, availability=0.95),
+                Modality.IMAGE: ChannelNoise(drop=0.30, spurious=0.15, availability=0.60),
+                Modality.VIDEO: ChannelNoise(drop=0.32, spurious=0.15, availability=0.55),
+            },
+        )
+
+
+class LanguageDetectionService(OrganizationalResource):
+    """Language id.  Carries essentially no task signal — it exists to
+    reproduce the paper's "no gain" feature observation (§6.5) and the
+    English-restriction slice in §6.7.1."""
+
+    _LANGS = ("en", "es", "pt", "de", "fr")
+    _WEIGHTS = (0.72, 0.10, 0.08, 0.05, 0.05)
+
+    def _compute(self, point: DataPoint, rng: np.random.Generator) -> frozenset[str]:
+        lang = rng.choice(self._LANGS, p=self._WEIGHTS)
+        return frozenset({str(lang)})
+
+
+class LandingQualityService(OrganizationalResource):
+    """Quality score of the linked landing page (weak signal: mildly
+    anti-correlated with risky page categories)."""
+
+    def __init__(self, spec: FeatureSpec, risky_pages: frozenset[int]) -> None:
+        super().__init__(spec)
+        self._risky_pages = risky_pages
+
+    def _compute(self, point: DataPoint, rng: np.random.Generator) -> float | None:
+        from repro.resources.aggregates import PAGE_AVAILABILITY
+
+        if rng.random() >= PAGE_AVAILABILITY.get(point.modality, 1.0):
+            return None
+        overlap = sum(
+            1 for p in point.latent.page_categories if p in self._risky_pages
+        )
+        base = 0.75 - 0.12 * min(overlap, 3)
+        return float(np.clip(rng.normal(base, 0.18), 0.0, 1.0))
+
+
+class OrgEmbeddingService(OrganizationalResource):
+    """The proprietary organization-wide pretrained image embedding."""
+
+    def _compute(self, point: DataPoint, rng: np.random.Generator) -> np.ndarray:
+        payload = point.payload
+        if isinstance(payload, ImagePayload):
+            return np.asarray(payload.org_embedding, dtype=float)
+        if isinstance(payload, VideoPayload):
+            return np.mean([f.org_embedding for f in payload.frames], axis=0)
+        raise ResourceError(
+            f"org embedding requires an image-like payload, got {type(payload).__name__}"
+        )
+
+
+class GenericEmbeddingService(OrganizationalResource):
+    """Generic materialized CNN features (inception-v3-like); slightly
+    weaker than the org embedding, per §6.6."""
+
+    def _compute(self, point: DataPoint, rng: np.random.Generator) -> np.ndarray:
+        payload = point.payload
+        if isinstance(payload, ImagePayload):
+            return np.asarray(payload.generic_embedding, dtype=float)
+        if isinstance(payload, VideoPayload):
+            return np.mean([f.generic_embedding for f in payload.frames], axis=0)
+        raise ResourceError(
+            f"generic embedding requires an image-like payload, got {type(payload).__name__}"
+        )
+
+
+class ImageQualityService(OrganizationalResource):
+    """Image-specific quality score (no task signal by construction)."""
+
+    def _compute(self, point: DataPoint, rng: np.random.Generator) -> float:
+        payload = point.payload
+        if isinstance(payload, ImagePayload):
+            return float(payload.quality)
+        if isinstance(payload, VideoPayload):
+            return float(np.mean([f.quality for f in payload.frames]))
+        raise ResourceError(
+            f"image quality requires an image-like payload, got {type(payload).__name__}"
+        )

@@ -1,0 +1,86 @@
+"""Rule-based services: team heuristics exposed as binary features.
+
+The paper: "Teams develop heuristics and rules to make manually
+collecting, analyzing and labeling data more efficient ... and can use
+them as binary features."  A rule here is a predicate over a point's
+observable surface (tokens, keywords, user metadata), rendered as a
+categorical feature with values ``{"hit"}`` or the empty set.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.datagen.entities import DataPoint, Modality, TextPayload
+from repro.features.schema import FeatureKind, FeatureSpec
+from repro.resources.base import OrganizationalResource
+
+__all__ = ["RuleBasedService", "keyword_watchlist_rule", "heavy_poster_rule"]
+
+
+class RuleBasedService(OrganizationalResource):
+    """Wraps a boolean predicate as a categorical resource."""
+
+    def __init__(
+        self,
+        spec: FeatureSpec,
+        predicate: Callable[[DataPoint, np.random.Generator], bool],
+    ) -> None:
+        super().__init__(spec)
+        self._predicate = predicate
+
+    def _compute(self, point: DataPoint, rng: np.random.Generator) -> frozenset[str]:
+        return frozenset({"hit"}) if self._predicate(point, rng) else frozenset()
+
+
+def keyword_watchlist_rule(
+    name: str,
+    watchlist: frozenset[int],
+    service_set: str | None = None,
+) -> RuleBasedService:
+    """Rule: the post mentions a watch-listed keyword.
+
+    For text posts the rule string-matches the rendered tokens (as a
+    production regex rule would); for other modalities it fires on the
+    latent keywords with a miss probability, modelling a weaker signal
+    path through captions.
+    """
+    watch_tokens = {f"kw{k}" for k in watchlist}
+
+    def predicate(point: DataPoint, rng: np.random.Generator) -> bool:
+        if point.modality is Modality.TEXT:
+            payload = point.payload
+            assert isinstance(payload, TextPayload)
+            return any(t in watch_tokens for t in payload.tokens)
+        hits = [k for k in point.latent.keywords if k in watchlist]
+        return bool(hits) and rng.random() > 0.4
+
+    spec = FeatureSpec(
+        name=name,
+        kind=FeatureKind.CATEGORICAL,
+        service_set=service_set,
+        description="team heuristic: keyword watchlist match",
+    )
+    return RuleBasedService(spec, predicate)
+
+
+def heavy_poster_rule(
+    name: str,
+    report_counts: np.ndarray,
+    threshold: float = 10.0,
+    service_set: str | None = None,
+) -> RuleBasedService:
+    """Rule: the posting user has an elevated report count."""
+
+    def predicate(point: DataPoint, rng: np.random.Generator) -> bool:
+        return float(report_counts[point.user_id]) >= threshold
+
+    spec = FeatureSpec(
+        name=name,
+        kind=FeatureKind.CATEGORICAL,
+        service_set=service_set,
+        description="team heuristic: frequently reported user",
+    )
+    return RuleBasedService(spec, predicate)

@@ -1,0 +1,88 @@
+"""Shared fixtures: a tiny world/task/corpora configuration reused by
+most tests (session-scoped — generation is the expensive part)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import CurationConfig, PipelineConfig
+from repro.core.pipeline import CrossModalPipeline
+from repro.datagen.entities import Modality
+from repro.datagen.tasks import classification_task, generate_task_corpora
+from repro.resources.service_sets import build_resource_suite
+
+
+@pytest.fixture(scope="session")
+def tiny_setup():
+    """(world, task, splits) for a very small CT1 configuration."""
+    config = classification_task("CT1")
+    return generate_task_corpora(config, scale=0.06, seed=7, n_calibration=6000)
+
+
+@pytest.fixture(scope="session")
+def tiny_world(tiny_setup):
+    return tiny_setup[0]
+
+
+@pytest.fixture(scope="session")
+def tiny_task(tiny_setup):
+    return tiny_setup[1]
+
+
+@pytest.fixture(scope="session")
+def tiny_splits(tiny_setup):
+    return tiny_setup[2]
+
+
+@pytest.fixture(scope="session")
+def tiny_catalog(tiny_world, tiny_task):
+    return build_resource_suite(tiny_world, tiny_task, n_history=2500, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_pipeline(tiny_world, tiny_task, tiny_catalog):
+    config = PipelineConfig(
+        seed=7,
+        curation=CurationConfig(max_seed_nodes=600, max_dev_nodes=300),
+    )
+    return CrossModalPipeline(tiny_world, tiny_task, tiny_catalog, config)
+
+
+@pytest.fixture(scope="session")
+def tiny_text_table(tiny_pipeline, tiny_splits):
+    return tiny_pipeline.featurize(tiny_splits.text_labeled, include_labels=True)
+
+
+@pytest.fixture(scope="session")
+def tiny_image_table(tiny_pipeline, tiny_splits):
+    return tiny_pipeline.featurize(tiny_splits.image_unlabeled, include_labels=False)
+
+
+@pytest.fixture(scope="session")
+def tiny_test_table(tiny_pipeline, tiny_splits):
+    return tiny_pipeline.featurize(tiny_splits.image_test, include_labels=True)
+
+
+@pytest.fixture(scope="session")
+def tiny_curation(tiny_pipeline, tiny_text_table, tiny_image_table):
+    return tiny_pipeline.curate(tiny_text_table, tiny_image_table)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def video_corpus(tiny_world, tiny_task):
+    """A small video corpus for modality-handling tests."""
+    from repro.core.rng import spawn
+    from repro.datagen.corpus import Corpus
+
+    gen = spawn(7, "video-fixture")
+    points = [
+        tiny_world.generate_point(tiny_task, Modality.VIDEO, point_id=100_000 + i, rng=gen)
+        for i in range(40)
+    ]
+    return Corpus(points=points, name="video-fixture")

@@ -1,0 +1,78 @@
+"""Tests for repro.mining.apriori — frequent-itemset mining."""
+
+import pytest
+
+from repro.core.exceptions import MiningError
+from repro.mining.apriori import apriori, itemset_support
+
+
+def _transactions():
+    return [
+        frozenset({"a", "b", "c"}),
+        frozenset({"a", "b"}),
+        frozenset({"a", "c"}),
+        frozenset({"b"}),
+        frozenset({"a", "b", "d"}),
+    ]
+
+
+def test_singleton_supports():
+    result = apriori(_transactions(), min_support=0.2, max_order=1)
+    assert result[frozenset({"a"})] == pytest.approx(4 / 5)
+    assert result[frozenset({"b"})] == pytest.approx(4 / 5)
+    assert result[frozenset({"c"})] == pytest.approx(2 / 5)
+    assert frozenset({"d"}) in result  # 1/5 == min_count 1
+
+
+def test_min_support_filters():
+    result = apriori(_transactions(), min_support=0.5, max_order=1)
+    assert frozenset({"c"}) not in result
+    assert frozenset({"a"}) in result
+
+
+def test_order2_pairs():
+    result = apriori(_transactions(), min_support=0.4, max_order=2)
+    assert result[frozenset({"a", "b"})] == pytest.approx(3 / 5)
+    assert frozenset({"a", "c"}) in result
+
+
+def test_apriori_antimonotone():
+    """Every subset of a frequent itemset is frequent with at least the
+    same support."""
+    result = apriori(_transactions(), min_support=0.2, max_order=3)
+    for itemset, support in result.items():
+        for item in itemset:
+            subset = itemset - {item}
+            if subset:
+                assert result[subset] >= support
+
+
+def test_max_order_respected():
+    result = apriori(_transactions(), min_support=0.2, max_order=1)
+    assert all(len(itemset) == 1 for itemset in result)
+
+
+def test_empty_transactions_rejected():
+    with pytest.raises(MiningError):
+        apriori([], min_support=0.1)
+
+
+def test_invalid_params_rejected():
+    with pytest.raises(MiningError):
+        apriori(_transactions(), min_support=0.0)
+    with pytest.raises(MiningError):
+        apriori(_transactions(), min_support=0.5, max_order=0)
+
+
+def test_itemset_support_counts():
+    assert itemset_support(_transactions(), frozenset({"a", "b"})) == 3
+    assert itemset_support(_transactions(), frozenset({"z"})) == 0
+
+
+def test_supports_match_direct_count():
+    transactions = _transactions()
+    result = apriori(transactions, min_support=0.2, max_order=2)
+    for itemset, support in result.items():
+        assert support == pytest.approx(
+            itemset_support(transactions, itemset) / len(transactions)
+        )

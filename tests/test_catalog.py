@@ -1,0 +1,78 @@
+"""Tests for repro.resources.catalog — registry and quality validation."""
+
+import pytest
+
+from repro.core.exceptions import ResourceError
+from repro.datagen.entities import Modality
+from repro.features.schema import FeatureKind, FeatureSpec
+from repro.resources.base import LatentCategoricalService
+from repro.resources.catalog import ResourceCatalog
+
+
+def _dummy(name: str, service_set: str = "A") -> LatentCategoricalService:
+    return LatentCategoricalService(
+        FeatureSpec(name, FeatureKind.CATEGORICAL, service_set=service_set),
+        extractor=lambda latent: latent.topics,
+        universe=10,
+        prefix="t",
+    )
+
+
+def test_register_and_lookup():
+    catalog = ResourceCatalog([_dummy("a")])
+    assert "a" in catalog
+    assert catalog.get("a").name == "a"
+    assert catalog.names == ["a"]
+
+
+def test_duplicate_rejected():
+    catalog = ResourceCatalog([_dummy("a")])
+    with pytest.raises(ResourceError):
+        catalog.register(_dummy("a"))
+
+
+def test_unregister():
+    catalog = ResourceCatalog([_dummy("a"), _dummy("b")])
+    catalog.unregister("a")
+    assert "a" not in catalog
+    with pytest.raises(ResourceError):
+        catalog.unregister("a")
+
+
+def test_schema_induced_by_resources(tiny_catalog):
+    schema = tiny_catalog.schema()
+    assert set(schema.names) == set(tiny_catalog.names)
+
+
+def test_select_by_set_and_modality(tiny_catalog):
+    a_only = tiny_catalog.select(service_sets=("A",))
+    assert all(r.spec.service_set == "A" for r in a_only)
+    text_capable = tiny_catalog.select(modality=Modality.TEXT)
+    assert all(r.supports(Modality.TEXT) for r in text_capable)
+
+
+def test_select_servable_only(tiny_catalog):
+    servable = tiny_catalog.select(servable_only=True)
+    assert all(r.spec.servable for r in servable)
+    assert len(servable) < len(tiny_catalog)
+
+
+def test_quality_validation_requires_labels(tiny_catalog, tiny_image_table):
+    with pytest.raises(ResourceError):
+        tiny_catalog.validate_quality(tiny_image_table)
+
+
+def test_quality_report_ranks_signal_above_noise(tiny_catalog, tiny_text_table):
+    """The deliberately signal-free language feature must rank below
+    genuinely informative features (the paper's §6.5 validation point)."""
+    report = tiny_catalog.validate_quality(tiny_text_table)
+    ranked = [name for name, _ in report.ranked()]
+    assert ranked.index("topics") < ranked.index("language")
+    assert "language" in report.weak(threshold=0.02) or (
+        report.scores["language"] < report.scores["topics"]
+    )
+
+
+def test_quality_scores_nonnegative(tiny_catalog, tiny_text_table):
+    report = tiny_catalog.validate_quality(tiny_text_table)
+    assert all(score >= 0 for score in report.scores.values())

@@ -1,0 +1,31 @@
+"""Tests for the experiments CLI (python -m repro.experiments)."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+def test_table1_via_cli(capsys):
+    code = main(["table1", "--scale", "0.05", "--seed", "3"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "CT5" in out
+    assert "[table1:" in out
+
+
+def test_task_subset_via_cli(capsys):
+    code = main([
+        "table3", "--scale", "0.05", "--seed", "3",
+        "--model-seeds", "1", "--tasks", "CT1",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Table 3" in out
+    assert "CT1" in out
+    assert "CT2" not in out  # only the requested task ran
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["tableX"])

@@ -1,0 +1,57 @@
+"""Tests for repro.core.config — pipeline configuration validation."""
+
+import pytest
+
+from repro.core.config import CurationConfig, PipelineConfig, TrainingConfig
+from repro.core.exceptions import ConfigurationError
+
+
+def test_defaults_are_valid():
+    config = PipelineConfig()
+    assert config.model_service_sets == ("A", "B", "C", "D")
+    assert config.curation.use_propagation is True
+    assert config.training.fusion == "early"
+
+
+def test_invalid_fusion():
+    with pytest.raises(ConfigurationError):
+        TrainingConfig(fusion="late")
+
+
+def test_invalid_model():
+    with pytest.raises(ConfigurationError):
+        TrainingConfig(model="transformer")
+
+
+def test_invalid_dev_fraction():
+    with pytest.raises(ConfigurationError):
+        CurationConfig(dev_fraction=0.01)
+    with pytest.raises(ConfigurationError):
+        CurationConfig(dev_fraction=0.9)
+
+
+def test_invalid_max_order():
+    with pytest.raises(ConfigurationError):
+        CurationConfig(max_order=0)
+
+
+def test_empty_service_sets_rejected():
+    with pytest.raises(ConfigurationError):
+        PipelineConfig(model_service_sets=())
+    with pytest.raises(ConfigurationError):
+        PipelineConfig(lf_service_sets=())
+
+
+def test_configs_are_frozen():
+    config = PipelineConfig()
+    with pytest.raises(AttributeError):
+        config.seed = 99  # type: ignore[misc]
+
+
+def test_nonservable_simulation_config():
+    """The Figure-5-bottom configuration is expressible."""
+    config = PipelineConfig(
+        model_service_sets=("A", "B"), lf_service_sets=("A", "B", "C", "D")
+    )
+    assert config.model_service_sets == ("A", "B")
+    assert config.lf_service_sets == ("A", "B", "C", "D")

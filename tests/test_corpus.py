@@ -1,0 +1,91 @@
+"""Tests for repro.datagen.corpus — corpus containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.datagen.corpus import Corpus
+
+
+@pytest.fixture()
+def corpus(tiny_splits):
+    return tiny_splits.text_labeled
+
+
+def test_len_and_iteration(corpus):
+    assert len(corpus) == len(list(corpus))
+
+
+def test_labels_binary(corpus):
+    labels = corpus.labels
+    assert set(np.unique(labels)) <= {0, 1}
+
+
+def test_positive_rate_matches_labels(corpus):
+    assert corpus.positive_rate == pytest.approx(corpus.labels.mean())
+
+
+def test_sample_without_replacement(corpus):
+    sample = corpus.sample(50, seed=1)
+    assert len(sample) == 50
+    assert len(set(sample.point_ids)) == 50
+
+
+def test_sample_too_large_raises(corpus):
+    with pytest.raises(ConfigurationError):
+        corpus.sample(len(corpus) + 1)
+
+
+def test_sample_deterministic(corpus):
+    a = corpus.sample(30, seed=5)
+    b = corpus.sample(30, seed=5)
+    assert list(a.point_ids) == list(b.point_ids)
+
+
+def test_take_prefix(corpus):
+    taken = corpus.take(10)
+    assert list(taken.point_ids) == list(corpus.point_ids[:10])
+
+
+def test_take_nesting(corpus):
+    """Larger takes are supersets of smaller ones (labeling-budget
+    sweeps rely on this)."""
+    small = set(corpus.take(20).point_ids)
+    large = set(corpus.take(60).point_ids)
+    assert small <= large
+
+
+def test_split_partitions(corpus):
+    a, b = corpus.split(0.25, seed=3)
+    assert len(a) + len(b) == len(corpus)
+    assert set(a.point_ids).isdisjoint(set(b.point_ids))
+    assert len(a) == int(round(0.25 * len(corpus)))
+
+
+def test_split_invalid_fraction(corpus):
+    with pytest.raises(ConfigurationError):
+        corpus.split(1.5)
+
+
+def test_filter(corpus):
+    positives = corpus.filter(lambda p: p.label == 1)
+    assert all(p.label == 1 for p in positives)
+    assert len(positives) == corpus.labels.sum()
+
+
+def test_concat(corpus):
+    a, b = corpus.split(0.5, seed=0)
+    merged = a.concat(b)
+    assert len(merged) == len(corpus)
+    assert set(merged.point_ids) == set(corpus.point_ids)
+
+
+def test_summary_fields(corpus):
+    summary = corpus.summary()
+    assert summary["n_points"] == len(corpus)
+    assert summary["modalities"] == ["text"]
+    assert 0 <= summary["positive_rate"] <= 1
+
+
+def test_empty_corpus_positive_rate():
+    assert Corpus(points=[]).positive_rate == 0.0

@@ -1,0 +1,108 @@
+"""Tests for repro.features.distance — Algorithm-1 similarity."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import GraphError
+from repro.features.distance import SimilarityConfig, algorithm1_similarity, numeric_ranges
+from repro.features.schema import FeatureKind, FeatureSchema, FeatureSpec
+
+
+@pytest.fixture()
+def schema():
+    return FeatureSchema(
+        [
+            FeatureSpec("cats", FeatureKind.CATEGORICAL),
+            FeatureSpec("num", FeatureKind.NUMERIC),
+            FeatureSpec("emb", FeatureKind.EMBEDDING),
+        ]
+    )
+
+
+def test_identical_rows_have_similarity_one(schema):
+    row = {"cats": frozenset({"a", "b"}), "num": 1.0, "emb": np.array([1.0, 2.0])}
+    assert algorithm1_similarity(row, dict(row), schema) == pytest.approx(1.0)
+
+
+def test_jaccard_contribution(schema):
+    a = {"cats": frozenset({"a", "b"})}
+    b = {"cats": frozenset({"b", "c"})}
+    assert algorithm1_similarity(a, b, schema) == pytest.approx(1 / 3)
+
+
+def test_empty_sets_are_similar(schema):
+    a = {"cats": frozenset()}
+    b = {"cats": frozenset()}
+    assert algorithm1_similarity(a, b, schema) == pytest.approx(1.0)
+
+
+def test_numeric_normalization(schema):
+    config = SimilarityConfig(numeric_range={"num": 10.0})
+    a = {"num": 0.0}
+    b = {"num": 5.0}
+    assert algorithm1_similarity(a, b, schema, config) == pytest.approx(0.5)
+
+
+def test_numeric_clipped_at_zero(schema):
+    config = SimilarityConfig(numeric_range={"num": 1.0})
+    a = {"num": 0.0}
+    b = {"num": 100.0}
+    assert algorithm1_similarity(a, b, schema, config) == 0.0
+
+
+def test_embedding_cosine_mapping(schema):
+    a = {"emb": np.array([1.0, 0.0])}
+    b = {"emb": np.array([-1.0, 0.0])}
+    assert algorithm1_similarity(a, b, schema) == pytest.approx(0.0)
+    c = {"emb": np.array([1.0, 0.0])}
+    assert algorithm1_similarity(a, c, schema) == pytest.approx(1.0)
+
+
+def test_only_co_present_features_count(schema):
+    a = {"cats": frozenset({"x"}), "num": 1.0}
+    b = {"cats": frozenset({"x"})}
+    # num missing on b -> only Jaccard contributes
+    assert algorithm1_similarity(a, b, schema) == pytest.approx(1.0)
+
+
+def test_no_shared_features_gives_zero(schema):
+    assert algorithm1_similarity({"num": 1.0}, {"cats": frozenset({"a"})}, schema) == 0.0
+
+
+def test_feature_weights(schema):
+    config = SimilarityConfig(
+        numeric_range={"num": 1.0}, feature_weights={"cats": 3.0, "num": 1.0}
+    )
+    a = {"cats": frozenset({"x"}), "num": 0.0}
+    b = {"cats": frozenset({"x"}), "num": 1.0}
+    # weighted mean: (3*1 + 1*0) / 4
+    assert algorithm1_similarity(a, b, schema, config) == pytest.approx(0.75)
+
+
+def test_symmetry(schema, rng):
+    for _ in range(20):
+        a = {
+            "cats": frozenset(str(v) for v in rng.integers(0, 5, size=3)),
+            "num": float(rng.normal()),
+            "emb": rng.normal(size=4),
+        }
+        b = {
+            "cats": frozenset(str(v) for v in rng.integers(0, 5, size=3)),
+            "num": float(rng.normal()),
+            "emb": rng.normal(size=4),
+        }
+        assert algorithm1_similarity(a, b, schema) == pytest.approx(
+            algorithm1_similarity(b, a, schema)
+        )
+
+
+def test_range_validation():
+    config = SimilarityConfig(numeric_range={"num": -1.0})
+    with pytest.raises(GraphError):
+        config.range_for("num")
+
+
+def test_numeric_ranges_from_table(tiny_text_table):
+    ranges = numeric_ranges(tiny_text_table)
+    assert all(v > 0 for v in ranges.values())
+    assert "user_report_count" in ranges

@@ -1,0 +1,87 @@
+"""Tests for repro.datagen.entities — data-point value objects."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.entities import (
+    DataPoint,
+    ImagePayload,
+    LatentState,
+    Modality,
+    TextPayload,
+    VideoPayload,
+)
+
+
+def _latent() -> LatentState:
+    return LatentState(
+        topics=(1, 2),
+        objects=(3,),
+        keywords=(4, 5),
+        entities=(),
+        url_category=0,
+        page_categories=(7,),
+        embedding=np.zeros(4),
+        score=0.5,
+    )
+
+
+def _image_payload() -> ImagePayload:
+    return ImagePayload(
+        org_embedding=np.ones(3),
+        generic_embedding=np.zeros(3),
+        visible_objects=(3,),
+        quality=0.8,
+    )
+
+
+def test_modality_str():
+    assert str(Modality.TEXT) == "text"
+    assert Modality("image") is Modality.IMAGE
+
+
+def test_text_payload_word_count():
+    payload = TextPayload(tokens=("a", "b", "c"), has_emoji=False)
+    assert payload.n_words == 3
+
+
+def test_video_payload_frame_count():
+    video = VideoPayload(frames=(_image_payload(), _image_payload()), duration_seconds=12.0)
+    assert video.n_frames == 2
+
+
+def test_datapoint_rejects_bad_label():
+    with pytest.raises(ValueError):
+        DataPoint(
+            point_id=1,
+            user_id=2,
+            modality=Modality.TEXT,
+            payload=TextPayload(tokens=(), has_emoji=False),
+            latent=_latent(),
+            label=2,
+        )
+
+
+def test_datapoint_accepts_binary_labels():
+    for label in (0, 1):
+        point = DataPoint(
+            point_id=1,
+            user_id=2,
+            modality=Modality.IMAGE,
+            payload=_image_payload(),
+            latent=_latent(),
+            label=label,
+        )
+        assert point.label == label
+
+
+def test_latent_not_in_repr():
+    point = DataPoint(
+        point_id=1,
+        user_id=2,
+        modality=Modality.IMAGE,
+        payload=_image_payload(),
+        latent=_latent(),
+        label=0,
+    )
+    assert "latent" not in repr(point)

@@ -1,0 +1,132 @@
+"""Integration tests for the experiment harnesses (micro scale).
+
+These exercise every experiment code path end to end; scientific shape
+assertions live in the benchmarks, which run at a larger scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentContext,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_fusion_ablation,
+    run_lf_comparison,
+    run_table1,
+    run_table3_task,
+    run_task_end_to_end,
+)
+from repro.experiments.common import find_crossover
+from repro.experiments.reporting import format_value, render_table
+
+SCALE = 0.06
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext("CT1", scale=SCALE, seed=SEED)
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [10, 0.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_value(self):
+        assert format_value(0.123456) == "0.12"
+        assert format_value(12.3) == "12.3"
+        assert format_value(1234.0) == "1234"
+        assert format_value("x") == "x"
+
+    def test_empty_rows(self):
+        assert "h" in render_table(["h"], [])
+
+
+class TestFindCrossover:
+    def test_finds_first_beating_budget(self):
+        assert find_crossover([10, 20, 30], [0.1, 0.5, 0.9], 0.4) == 20
+
+    def test_running_max_smooths_dips(self):
+        assert find_crossover([10, 20, 30], [0.5, 0.3, 0.2], 0.4) == 10
+
+    def test_none_when_never_crossed(self):
+        assert find_crossover([10, 20], [0.1, 0.2], 0.9) is None
+
+
+class TestContext:
+    def test_cached_tables_shared_after_with_config(self, ctx):
+        from dataclasses import replace
+
+        _ = ctx.text_table
+        clone = ctx.with_config(replace(ctx.config, seed=ctx.config.seed))
+        assert clone.text_table is ctx.text_table
+
+    def test_baseline_positive(self, ctx):
+        assert ctx.baseline_auprc > 0.0
+
+    def test_relative(self, ctx):
+        assert ctx.relative(ctx.baseline_auprc) == pytest.approx(1.0)
+
+
+def test_table1_runs():
+    result = run_table1(scale=SCALE, seed=SEED)
+    assert set(result.rows) == {"CT1", "CT2", "CT3", "CT4", "CT5"}
+    rendered = result.render()
+    assert "Table 1" in rendered and "CT4" in rendered
+
+
+def test_end_to_end_runs(ctx):
+    result = run_task_end_to_end(ctx, budgets=[100, 300], n_model_seeds=1)
+    assert result.text_auprc > 0
+    assert result.image_auprc > 0
+    assert result.cross_auprc > 0
+    assert len(result.supervised) == 2
+
+
+def test_figure5_runs():
+    result = run_figure5(scale=SCALE, seed=SEED, budgets=[100, 300], n_model_seeds=1)
+    assert len(result.supervised_full) == 2
+    assert "Figure 5" in result.render()
+
+
+def test_figure6_runs():
+    result = run_figure6(scale=SCALE, seed=SEED, n_model_seeds=1)
+    assert len(result.relative_auprc) == 8
+    assert all(v >= 0 for v in result.relative_auprc)
+    assert "Figure 6" in result.render()
+
+
+def test_figure7_runs():
+    result = run_figure7(scale=SCALE, seed=SEED, n_model_seeds=1)
+    assert len(result.prefixes) == 4
+    assert 0 <= result.combined_wins() <= 4
+    assert "Figure 7" in result.render()
+
+
+def test_fusion_ablation_runs():
+    result = run_fusion_ablation("CT1", scale=SCALE, seed=SEED)
+    assert set(result.fusion_auprc) == {"early", "intermediate", "devise"}
+    assert set(result.materialization_auprc) == {
+        "services", "generic_embedding", "org_embedding",
+    }
+    assert "fusion" in result.render()
+
+
+def test_table3_task_runs():
+    row = run_table3_task("CT1", scale=SCALE, seed=SEED, n_model_seeds=1)
+    assert row.task == "CT1"
+    assert row.recall_ratio > 0
+    assert row.f1_ratio > 0
+
+
+def test_lf_comparison_runs():
+    result = run_lf_comparison(scale=SCALE, seed=SEED)
+    assert result.mined.n_lfs > 0
+    assert result.expert.n_lfs > 0
+    assert result.expert.hours > result.mined.hours  # automation is faster
+    assert "6.7.1" in result.render()

@@ -1,0 +1,176 @@
+"""Tests for repro.extensions — self-training, domain adaptation, and
+production monitoring."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.datagen.entities import Modality
+from repro.extensions.domain_adaptation import modality_importance_weights
+from repro.extensions.monitoring import ModelComparison, ReviewQueue, compare_models
+from repro.extensions.self_training import SelfTrainer
+from repro.features.schema import FeatureKind, FeatureSchema, FeatureSpec
+from repro.features.table import FeatureTable
+from repro.models.fusion import EarlyFusion
+from repro.models.mlp import MLPClassifier
+
+
+def _numeric_table(values, labels=None):
+    schema = FeatureSchema([FeatureSpec("x", FeatureKind.NUMERIC)])
+    return FeatureTable(
+        schema=schema,
+        columns={"x": [float(v) for v in values]},
+        point_ids=list(range(len(values))),
+        modalities=[Modality.TEXT] * len(values),
+        labels=None if labels is None else np.asarray(labels),
+    )
+
+
+def _factory():
+    # small data needs more optimization steps and a larger step size
+    return EarlyFusion(
+        lambda: MLPClassifier(
+            hidden_sizes=(8,), n_epochs=120, learning_rate=1e-2, seed=0
+        )
+    )
+
+
+class TestSelfTrainer:
+    def _data(self, seed=0):
+        rng = np.random.default_rng(seed)
+        y = (rng.random(300) < 0.3).astype(float)
+        x = y * 2.0 + rng.normal(0, 0.8, 300)
+        base = _numeric_table(x)
+        unl_y = (rng.random(400) < 0.3).astype(int)
+        unl_x = unl_y * 2.0 + rng.normal(0, 0.8, 400)
+        unlabeled = _numeric_table(unl_x)
+        return base, y, unlabeled, unl_y
+
+    def test_runs_and_reports(self):
+        base, y, unlabeled, _ = self._data()
+        trainer = SelfTrainer(_factory, n_rounds=2)
+        trainer.fit([base], [y], unlabeled)
+        assert trainer.report_ is not None
+        assert trainer.report_.n_rounds == 2
+        assert trainer.report_.total_pseudo_labels() > 0
+
+    def test_pseudo_labels_mostly_correct(self):
+        base, y, unlabeled, unl_y = self._data()
+        trainer = SelfTrainer(_factory, n_rounds=1, positive_percentile=97.0)
+        trainer.fit([base], [y], unlabeled)
+        scores = trainer.predict_proba(unlabeled)
+        top = np.argsort(-scores)[:12]
+        assert np.asarray(unl_y)[top].mean() > 0.5
+
+    def test_predictions_usable(self):
+        base, y, unlabeled, unl_y = self._data()
+        trainer = SelfTrainer(_factory, n_rounds=1).fit([base], [y], unlabeled)
+        from repro.models.metrics import auprc
+
+        assert auprc(trainer.predict_proba(unlabeled), np.asarray(unl_y)) > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SelfTrainer(_factory, positive_percentile=40.0)
+        with pytest.raises(ConfigurationError):
+            SelfTrainer(_factory, negative_percentile=99.5)
+        with pytest.raises(ConfigurationError):
+            SelfTrainer(_factory, n_rounds=0)
+        with pytest.raises(ConfigurationError):
+            SelfTrainer(_factory).predict_proba(_numeric_table([1.0]))
+
+
+class TestDomainAdaptation:
+    def test_weights_favor_target_like_rows(self):
+        rng = np.random.default_rng(0)
+        old = _numeric_table(np.concatenate([rng.normal(0, 1, 200),
+                                             rng.normal(5, 1, 200)]))
+        new = _numeric_table(rng.normal(5, 1, 300))
+        weights = modality_importance_weights(old, new, seed=0)
+        assert weights.shape == (400,)
+        assert weights.mean() == pytest.approx(1.0)
+        # rows near the new modality's mode get higher weight
+        assert weights[200:].mean() > 1.5 * weights[:200].mean()
+
+    def test_identical_distributions_give_flat_weights(self):
+        rng = np.random.default_rng(1)
+        old = _numeric_table(rng.normal(0, 1, 300))
+        new = _numeric_table(rng.normal(0, 1, 300))
+        weights = modality_importance_weights(old, new, seed=0)
+        assert weights.std() < 0.5
+
+    def test_clip_validation(self):
+        old = _numeric_table([1.0, 2.0])
+        new = _numeric_table([1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            modality_importance_weights(old, new, clip=(0.0, 1.0))
+
+    def test_requires_shared_features(self):
+        old = _numeric_table([1.0, 2.0])
+        schema = FeatureSchema([FeatureSpec("other", FeatureKind.NUMERIC)])
+        new = FeatureTable(
+            schema=schema, columns={"other": [1.0]}, point_ids=[0],
+            modalities=[Modality.IMAGE],
+        )
+        with pytest.raises(ConfigurationError):
+            modality_importance_weights(old, new)
+
+    def test_real_modality_gap_detected(self, tiny_text_table, tiny_image_table):
+        """Text rows that look image-like should not dominate: weights
+        are finite, normalized, and not all equal (a real gap exists)."""
+        weights = modality_importance_weights(
+            tiny_text_table, tiny_image_table, seed=0
+        )
+        assert np.isfinite(weights).all()
+        assert weights.mean() == pytest.approx(1.0)
+        assert weights.std() > 0.01
+
+
+class TestMonitoring:
+    def test_review_queue_budget_enforced(self, tiny_splits):
+        queue = ReviewQueue(tiny_splits.image_test, budget=10, seed=0)
+        queue.review(np.arange(7))
+        assert queue.remaining == 3
+        with pytest.raises(ConfigurationError):
+            queue.review(np.arange(5))
+
+    def test_reviewer_error_rate(self, tiny_splits):
+        corpus = tiny_splits.image_test
+        queue = ReviewQueue(corpus, budget=len(corpus), reviewer_error=0.3, seed=1)
+        labels = queue.review(np.arange(len(corpus)))
+        disagreement = (labels != corpus.labels).mean()
+        assert 0.15 < disagreement < 0.45
+
+    def test_perfect_reviewer(self, tiny_splits):
+        corpus = tiny_splits.image_test
+        queue = ReviewQueue(corpus, budget=len(corpus), reviewer_error=0.0)
+        labels = queue.review(np.arange(50))
+        assert np.array_equal(labels, corpus.labels[:50])
+
+    def test_compare_models_picks_better(self, tiny_splits, tiny_test_table):
+        rng = np.random.default_rng(0)
+        gold = tiny_test_table.labels.astype(float)
+
+        class Scored:
+            def __init__(self, noise):
+                self.noise = noise
+
+            def predict_proba(self, table):
+                return np.clip(
+                    gold + rng.normal(0, self.noise, len(gold)), 0, 1
+                )
+
+        queue = ReviewQueue(tiny_splits.image_test, budget=200, seed=2)
+        result = compare_models(
+            Scored(0.1), Scored(0.9), tiny_test_table, queue, seed=3
+        )
+        assert isinstance(result, ModelComparison)
+        assert result.winner == "A"
+        assert result.n_reviewed <= 200
+        assert "AUPRC" in result.render()
+
+    def test_queue_validation(self, tiny_splits):
+        with pytest.raises(ConfigurationError):
+            ReviewQueue(tiny_splits.image_test, budget=0)
+        with pytest.raises(ConfigurationError):
+            ReviewQueue(tiny_splits.image_test, budget=5, reviewer_error=0.7)

@@ -1,0 +1,67 @@
+"""Tests for repro.features.io — feature-table serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import SchemaError
+from repro.features.io import load_table, save_table, table_from_dict, table_to_dict
+from repro.features.table import MISSING
+
+
+def _roundtrip(table, tmp_path):
+    path = tmp_path / "table.json"
+    save_table(table, path)
+    return load_table(path)
+
+
+def test_roundtrip_preserves_everything(tiny_text_table, tmp_path):
+    table = tiny_text_table.select_rows(np.arange(40))
+    loaded = _roundtrip(table, tmp_path)
+    assert loaded.schema.names == table.schema.names
+    assert list(loaded.point_ids) == list(table.point_ids)
+    assert loaded.modalities == table.modalities
+    assert np.array_equal(loaded.labels, table.labels)
+    for name in table.schema.names:
+        spec = table.schema[name]
+        for a, b in zip(table.column(name), loaded.column(name)):
+            if a is MISSING:
+                assert b is MISSING
+            elif spec.kind.value == "embedding":
+                assert np.allclose(a, b)
+            else:
+                assert a == b
+
+
+def test_roundtrip_image_table_with_embeddings(tiny_image_table, tmp_path):
+    table = tiny_image_table.select_rows(np.arange(25))
+    loaded = _roundtrip(table, tmp_path)
+    assert loaded.labels is None
+    org = loaded.column("org_embedding")
+    assert isinstance(org[0], np.ndarray)
+    assert np.allclose(org[0], table.column("org_embedding")[0])
+
+
+def test_schema_metadata_survives(tiny_text_table, tmp_path):
+    loaded = _roundtrip(tiny_text_table.select_rows([0, 1]), tmp_path)
+    assert loaded.schema["topic_sensitivity"].servable is False
+    assert loaded.schema["topics"].service_set == "C"
+    assert loaded.schema["org_embedding"].modalities is not None
+
+
+def test_unknown_version_rejected(tiny_text_table):
+    data = table_to_dict(tiny_text_table.select_rows([0]))
+    data["format_version"] = 99
+    with pytest.raises(SchemaError):
+        table_from_dict(data)
+
+
+def test_loaded_table_is_usable(tiny_text_table, tmp_path):
+    """A reloaded table flows through vectorization unchanged."""
+    from repro.features.vectorize import Vectorizer
+
+    table = tiny_text_table.select_rows(np.arange(60)).select_features(
+        ["topics", "keywords", "user_report_count"]
+    )
+    loaded = _roundtrip(table, tmp_path)
+    vec = Vectorizer(table.schema).fit(table)
+    assert np.allclose(vec.transform(table), vec.transform(loaded))

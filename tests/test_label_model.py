@@ -1,0 +1,158 @@
+"""Tests for repro.labeling.label_model — the generative label model."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import LabelingError, NotFittedError
+from repro.core.rng import make_rng
+from repro.labeling.label_model import GenerativeLabelModel, conditional_table
+from repro.labeling.lf import LabelingFunction
+from repro.labeling.matrix import LabelMatrix
+
+
+def _synthetic_votes(
+    n: int,
+    accuracies: list[float],
+    propensities: list[float],
+    balance: float = 0.3,
+    seed: int = 0,
+) -> tuple[LabelMatrix, np.ndarray]:
+    """Sample votes from the symmetric generative process."""
+    rng = make_rng(seed)
+    y = (rng.random(n) < balance).astype(int)
+    signed = np.where(y == 1, 1, -1)
+    votes = np.zeros((n, len(accuracies)), dtype=np.int8)
+    for j, (acc, prop) in enumerate(zip(accuracies, propensities)):
+        fires = rng.random(n) < prop
+        correct = rng.random(n) < acc
+        votes[fires & correct, j] = signed[fires & correct]
+        votes[fires & ~correct, j] = -signed[fires & ~correct]
+    lfs = [LabelingFunction(f"lf{j}", lambda row: 0) for j in range(len(accuracies))]
+    return LabelMatrix(votes, lfs), y
+
+
+def test_perfect_lfs_recover_labels():
+    matrix, y = _synthetic_votes(500, [0.99, 0.99, 0.99], [0.9, 0.9, 0.9])
+    model = GenerativeLabelModel(class_balance=0.3)
+    proba = model.fit_predict_proba(matrix)
+    covered = (matrix.votes != 0).any(axis=1)
+    predicted = (proba > 0.5).astype(int)
+    assert (predicted[covered] == y[covered]).mean() > 0.97
+
+
+def test_accuracy_recovery():
+    """Learned conditionals should imply higher accuracy for the more
+    accurate LF."""
+    matrix, _ = _synthetic_votes(3000, [0.9, 0.6], [0.8, 0.8], seed=2)
+    model = GenerativeLabelModel(class_balance=0.3).fit(matrix)
+    learned = model.learned_accuracies()
+    assert learned[0] > learned[1]
+    assert learned[0] > 0.7
+
+
+def test_uncovered_points_get_class_balance():
+    matrix, _ = _synthetic_votes(200, [0.9], [0.3], balance=0.2, seed=1)
+    model = GenerativeLabelModel(class_balance=0.2)
+    proba = model.fit_predict_proba(matrix)
+    uncovered = (matrix.votes == 0).all(axis=1)
+    assert np.allclose(proba[uncovered], 0.2)
+
+
+def test_balance_learned_when_not_given():
+    matrix, y = _synthetic_votes(3000, [0.9, 0.9, 0.85], [0.9, 0.9, 0.9], balance=0.25, seed=3)
+    model = GenerativeLabelModel(class_balance=None).fit(matrix)
+    assert abs(model.balance_ - 0.25) < 0.1
+
+
+def test_log_likelihood_nondecreasing():
+    matrix, _ = _synthetic_votes(800, [0.8, 0.7], [0.7, 0.7], seed=4)
+    model = GenerativeLabelModel(class_balance=0.3).fit(matrix)
+    ll = model.info_.log_likelihood
+    diffs = np.diff(ll)
+    assert (diffs > -1e-6).all()
+
+
+def test_predict_before_fit_raises():
+    matrix, _ = _synthetic_votes(10, [0.9], [0.9])
+    with pytest.raises(NotFittedError):
+        GenerativeLabelModel().predict_proba(matrix)
+
+
+def test_lf_count_mismatch_rejected():
+    matrix_a, _ = _synthetic_votes(100, [0.9, 0.8], [0.9, 0.9])
+    matrix_b, _ = _synthetic_votes(100, [0.9], [0.9])
+    model = GenerativeLabelModel(class_balance=0.3).fit(matrix_a)
+    with pytest.raises(LabelingError):
+        model.predict_proba(matrix_b)
+
+
+def test_invalid_class_balance():
+    with pytest.raises(LabelingError):
+        GenerativeLabelModel(class_balance=1.5)
+
+
+def test_zero_lfs_rejected():
+    votes = np.zeros((5, 0), dtype=np.int8)
+    matrix = LabelMatrix(votes, [])
+    with pytest.raises(LabelingError):
+        GenerativeLabelModel().fit(matrix)
+
+
+def test_polarity_consistency_under_imbalance():
+    """A noisy-but-real positive LF under a tiny prior must not turn
+    into negative evidence (the EM collapse mode)."""
+    rng = make_rng(7)
+    n = 4000
+    y = (rng.random(n) < 0.04).astype(int)
+    votes = np.zeros((n, 2), dtype=np.int8)
+    # positive LF: precision ~0.4 at 4% base rate = 10x lift
+    fires_on_pos = (y == 1) & (rng.random(n) < 0.5)
+    fires_on_neg = (y == 0) & (rng.random(n) < 0.03)
+    votes[fires_on_pos | fires_on_neg, 0] = 1
+    # broad negative LF
+    votes[(rng.random(n) < 0.3) & (y == 0), 1] = -1
+    lfs = [LabelingFunction(f"lf{j}", lambda row: 0) for j in range(2)]
+    matrix = LabelMatrix(votes, lfs)
+    model = GenerativeLabelModel(class_balance=0.04).fit(matrix)
+    proba = model.predict_proba(matrix)
+    # points with a positive vote must score above the prior
+    assert proba[votes[:, 0] == 1].mean() > 0.1
+
+
+def test_anchors_shape_checked():
+    matrix, _ = _synthetic_votes(50, [0.9], [0.9])
+    model = GenerativeLabelModel()
+    with pytest.raises(LabelingError):
+        model.fit(matrix, accuracy_anchors=np.zeros((2, 2, 3)))
+
+
+def test_anchored_fit_uses_dev_estimates():
+    matrix, y = _synthetic_votes(2000, [0.85, 0.7], [0.6, 0.6], seed=5)
+    anchors = conditional_table(matrix.votes, y)
+    model = GenerativeLabelModel(class_balance=0.3)
+    proba = model.fit(matrix, accuracy_anchors=anchors).predict_proba(matrix)
+    covered = (matrix.votes != 0).any(axis=1)
+    predicted = (proba > 0.5).astype(int)
+    assert (predicted[covered] == y[covered]).mean() > 0.75
+
+
+def test_conditional_table_properties():
+    matrix, y = _synthetic_votes(500, [0.9, 0.5], [0.8, 0.4], seed=6)
+    table = conditional_table(matrix.votes, y)
+    assert table.shape == (2, 2, 3)
+    assert np.allclose(table.sum(axis=2), 1.0)
+    assert (table > 0).all()
+
+
+def test_conditional_table_alignment_checked():
+    with pytest.raises(LabelingError):
+        conditional_table(np.zeros((5, 1), dtype=np.int8), np.zeros(4, dtype=int))
+
+
+def test_lf_summary_fields(tiny_curation):
+    model = tiny_curation.label_model
+    summary = model.lf_summary(tiny_curation.label_matrix)
+    assert len(summary) == len(tiny_curation.lfs)
+    for row in summary:
+        assert 0.0 <= row["learned_accuracy"] <= 1.0
+        assert 0.0 <= row["coverage"] <= 1.0

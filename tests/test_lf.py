@@ -1,0 +1,78 @@
+"""Tests for repro.labeling.lf — labeling-function primitives."""
+
+import pytest
+
+from repro.core.exceptions import LabelingError
+from repro.labeling.lf import (
+    ABSTAIN,
+    NEGATIVE,
+    POSITIVE,
+    LabelingFunction,
+    conjunction_lf,
+    labeling_function,
+    numeric_threshold_lf,
+)
+
+
+def test_decorator_builds_lf():
+    @labeling_function("lf_test", depends_on=("keywords",))
+    def lf_test(row):
+        return POSITIVE if row.get("keywords") else ABSTAIN
+
+    assert isinstance(lf_test, LabelingFunction)
+    assert lf_test.name == "lf_test"
+    assert lf_test({"keywords": frozenset({"x"})}) == POSITIVE
+    assert lf_test({"keywords": frozenset()}) == ABSTAIN
+
+
+def test_invalid_vote_rejected_at_call():
+    bad = LabelingFunction(name="bad", fn=lambda row: 2)
+    with pytest.raises(LabelingError):
+        bad({})
+
+
+def test_conjunction_lf_all_values_required():
+    lf = conjunction_lf("c", "topics", frozenset({"t1", "t2"}), POSITIVE)
+    assert lf({"topics": frozenset({"t1", "t2", "t3"})}) == POSITIVE
+    assert lf({"topics": frozenset({"t1"})}) == ABSTAIN
+
+
+def test_conjunction_lf_abstains_on_missing():
+    lf = conjunction_lf("c", "topics", frozenset({"t1"}), NEGATIVE)
+    assert lf({"topics": None}) == ABSTAIN
+    assert lf({}) == ABSTAIN
+
+
+def test_conjunction_lf_validation():
+    with pytest.raises(LabelingError):
+        conjunction_lf("c", "topics", frozenset(), POSITIVE)
+    with pytest.raises(LabelingError):
+        conjunction_lf("c", "topics", frozenset({"t1"}), ABSTAIN)
+
+
+def test_numeric_threshold_above():
+    lf = numeric_threshold_lf("n", "score", 0.5, POSITIVE, direction="above")
+    assert lf({"score": 0.7}) == POSITIVE
+    assert lf({"score": 0.5}) == POSITIVE  # inclusive
+    assert lf({"score": 0.4}) == ABSTAIN
+    assert lf({"score": None}) == ABSTAIN
+
+
+def test_numeric_threshold_below():
+    lf = numeric_threshold_lf("n", "score", 0.1, NEGATIVE, direction="below")
+    assert lf({"score": 0.05}) == NEGATIVE
+    assert lf({"score": 0.2}) == ABSTAIN
+
+
+def test_numeric_threshold_validation():
+    with pytest.raises(LabelingError):
+        numeric_threshold_lf("n", "score", 0.5, POSITIVE, direction="sideways")
+    with pytest.raises(LabelingError):
+        numeric_threshold_lf("n", "score", 0.5, ABSTAIN)
+
+
+def test_lf_metadata():
+    lf = conjunction_lf("c", "topics", frozenset({"t1"}), POSITIVE, origin="mined")
+    assert lf.origin == "mined"
+    assert lf.depends_on == ("topics",)
+    assert "topics" in lf.description

@@ -1,0 +1,171 @@
+"""Tests for repro.mining.lf_generator — automatic LF mining."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import MiningError
+from repro.datagen.entities import Modality
+from repro.features.schema import FeatureKind, FeatureSchema, FeatureSpec
+from repro.features.table import FeatureTable
+from repro.labeling.matrix import apply_lfs
+from repro.mining.lf_generator import MinedLFGenerator
+
+
+def _synthetic_dev(n=600, seed=0) -> FeatureTable:
+    """A table where value "hot" marks positives with high precision and
+    "cold" marks negatives, plus a numeric feature separating classes."""
+    rng = np.random.default_rng(seed)
+    labels = (rng.random(n) < 0.1).astype(int)
+    cats = []
+    nums = []
+    for y in labels:
+        tokens = {f"bg{rng.integers(30)}"}
+        if y and rng.random() < 0.8:
+            tokens.add("hot")
+        if not y and rng.random() < 0.4:
+            tokens.add("cold")
+        cats.append(frozenset(tokens))
+        nums.append(float(rng.normal(3.0 if y else 0.0, 1.0)))
+    schema = FeatureSchema(
+        [
+            FeatureSpec("cats", FeatureKind.CATEGORICAL),
+            FeatureSpec("num", FeatureKind.NUMERIC),
+        ]
+    )
+    return FeatureTable(
+        schema=schema,
+        columns={"cats": cats, "num": nums},
+        point_ids=list(range(n)),
+        modalities=[Modality.TEXT] * n,
+        labels=labels,
+    )
+
+
+def test_requires_labels():
+    table = _synthetic_dev().with_labels(None)
+    with pytest.raises(MiningError):
+        MinedLFGenerator().generate(table)
+
+
+def test_requires_positives():
+    table = _synthetic_dev()
+    table = table.with_labels(np.zeros(table.n_rows, dtype=int))
+    with pytest.raises(MiningError):
+        MinedLFGenerator().generate(table)
+
+
+def test_finds_hot_as_positive_lf():
+    table = _synthetic_dev()
+    lfs = MinedLFGenerator().generate(table)
+    assert any("cats=hot" in lf.name and "pos" in lf.name for lf in lfs)
+
+
+def test_finds_numeric_threshold_lfs():
+    table = _synthetic_dev()
+    lfs = MinedLFGenerator().generate(table)
+    assert any("num>=" in lf.name for lf in lfs)
+
+
+def test_mined_positive_lfs_have_lift():
+    """Every mined positive LF must actually have elevated precision on
+    the dev set it was mined from."""
+    table = _synthetic_dev()
+    generator = MinedLFGenerator()
+    lfs = [lf for lf in generator.generate(table) if "pos" in lf.name]
+    matrix = apply_lfs(lfs, table)
+    labels = table.labels
+    base = labels.mean()
+    for j in range(matrix.n_lfs):
+        fired = matrix.votes[:, j] == 1
+        if fired.sum() >= 5:
+            precision = labels[fired].mean()
+            assert precision > 2 * base
+
+
+def test_negative_lfs_are_pure():
+    table = _synthetic_dev()
+    generator = MinedLFGenerator()
+    lfs = [lf for lf in generator.generate(table) if "neg" in lf.name]
+    assert lfs, "expected at least one negative LF"
+    matrix = apply_lfs(lfs, table)
+    labels = table.labels
+    for j in range(matrix.n_lfs):
+        fired = matrix.votes[:, j] == -1
+        if fired.sum() >= 10:
+            assert labels[fired].mean() < 0.05
+
+
+def test_report_populated():
+    table = _synthetic_dev()
+    generator = MinedLFGenerator()
+    lfs = generator.generate(table)
+    report = generator.report_
+    assert report is not None
+    assert report.n_lfs == len(lfs)
+    assert report.wall_clock_seconds > 0
+    assert report.n_candidates_considered > 0
+
+
+def test_feature_restriction():
+    table = _synthetic_dev()
+    lfs = MinedLFGenerator().generate(table, features=["num"])
+    assert all(lf.depends_on == ("num",) for lf in lfs)
+
+
+def test_lfs_single_feature_only():
+    """Paper: each mined LF is defined over a single feature."""
+    table = _synthetic_dev()
+    lfs = MinedLFGenerator(max_order=2).generate(table)
+    assert all(len(set(lf.depends_on)) == 1 for lf in lfs)
+
+
+def test_max_lfs_cap():
+    table = _synthetic_dev()
+    generator = MinedLFGenerator(max_lfs_per_polarity=1, min_negative_support=0.01)
+    lfs = generator.generate(table)
+    positives = [lf for lf in lfs if "pos" in lf.name and lf.depends_on == ("cats",)]
+    assert len(positives) <= 1
+
+
+def test_parameter_validation():
+    with pytest.raises(MiningError):
+        MinedLFGenerator(min_precision=0.0)
+    with pytest.raises(MiningError):
+        MinedLFGenerator(min_lift=0.5)
+
+
+def test_determinism():
+    table = _synthetic_dev()
+    a = [lf.name for lf in MinedLFGenerator().generate(table)]
+    b = [lf.name for lf in MinedLFGenerator().generate(table)]
+    assert a == b
+
+
+def test_order2_conjunctions_when_enabled():
+    """With max_order=2, mined conjunctions of two values of the same
+    feature are allowed (ablation of the paper's order-1 choice)."""
+    rng = np.random.default_rng(1)
+    n = 800
+    labels = (rng.random(n) < 0.15).astype(int)
+    cats = []
+    for y in labels:
+        tokens = {f"bg{rng.integers(10)}"}
+        # only the *pair* (x1, x2) is predictive; singletons are common
+        if y:
+            tokens.update({"x1", "x2"})
+        else:
+            if rng.random() < 0.3:
+                tokens.add("x1")
+            if rng.random() < 0.3:
+                tokens.add("x2")
+        cats.append(frozenset(tokens))
+    schema = FeatureSchema([FeatureSpec("cats", FeatureKind.CATEGORICAL)])
+    table = FeatureTable(
+        schema=schema,
+        columns={"cats": cats},
+        point_ids=list(range(n)),
+        modalities=[Modality.TEXT] * n,
+        labels=labels,
+    )
+    lfs = MinedLFGenerator(max_order=2, min_precision=0.5).generate(table)
+    assert any("&" in lf.name for lf in lfs)

@@ -1,0 +1,104 @@
+"""Tests for repro.labeling.majority and repro.labeling.analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import LabelingError
+from repro.labeling.analysis import LFAnalysis, weak_label_quality
+from repro.labeling.lf import LabelingFunction
+from repro.labeling.majority import MajorityVoter
+from repro.labeling.matrix import LabelMatrix
+
+
+def _matrix(votes):
+    votes = np.asarray(votes, dtype=np.int8)
+    lfs = [LabelingFunction(f"lf{j}", lambda row: 0) for j in range(votes.shape[1])]
+    return LabelMatrix(votes, lfs)
+
+
+class TestMajorityVoter:
+    def test_unanimous(self):
+        matrix = _matrix([[1, 1], [-1, -1]])
+        proba = MajorityVoter().predict_proba(matrix)
+        assert proba.tolist() == [1.0, 0.0]
+
+    def test_tie_is_half(self):
+        matrix = _matrix([[1, -1]])
+        assert MajorityVoter().predict_proba(matrix)[0] == 0.5
+
+    def test_abstain_rows_get_prior(self):
+        matrix = _matrix([[0, 0]])
+        assert MajorityVoter(prior=0.2).predict_proba(matrix)[0] == 0.2
+
+    def test_invalid_prior(self):
+        with pytest.raises(ValueError):
+            MajorityVoter(prior=0.0)
+
+    def test_predict_threshold(self):
+        matrix = _matrix([[1, 1, -1]])
+        voter = MajorityVoter()
+        assert voter.predict(matrix)[0] == 1
+
+
+class TestWeakLabelQuality:
+    def test_perfect_labels(self):
+        gold = np.array([1, 0, 1, 0, 0, 0, 0, 0])
+        proba = gold.astype(float)
+        quality = weak_label_quality(proba, gold, prior=0.25)
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+        assert quality.f1 == 1.0
+
+    def test_uncovered_positives_count_as_misses(self):
+        gold = np.array([1, 1, 0, 0])
+        proba = np.array([0.9, 0.25, 0.0, 0.0])  # second positive at prior
+        quality = weak_label_quality(proba, gold, prior=0.25)
+        assert quality.recall == pytest.approx(0.5)
+
+    def test_fixed_threshold(self):
+        gold = np.array([1, 0, 0, 0])
+        proba = np.array([0.6, 0.6, 0.0, 0.0])
+        quality = weak_label_quality(proba, gold, prior=0.1, threshold=0.5)
+        assert quality.precision == pytest.approx(0.5)
+        assert quality.recall == pytest.approx(1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(LabelingError):
+            weak_label_quality(np.zeros(3), np.zeros(4, dtype=int))
+
+    def test_coverage_counts_departures_from_prior(self):
+        gold = np.array([1, 0, 0, 0])
+        proba = np.array([0.9, 0.1, 0.1, 0.1])
+        quality = weak_label_quality(proba, gold, prior=0.1)
+        assert quality.coverage == pytest.approx(0.25)
+
+
+class TestLFAnalysis:
+    def test_summary_polarity_and_coverage(self):
+        matrix = _matrix([[1, 0], [1, -1], [0, -1], [0, 0]])
+        rows = LFAnalysis(matrix).summary()
+        assert rows[0]["polarity"] == [1]
+        assert rows[1]["polarity"] == [-1]
+        assert rows[0]["coverage"] == pytest.approx(0.5)
+
+    def test_conflict_counts_disagreements(self):
+        matrix = _matrix([[1, -1], [1, 1]])
+        rows = LFAnalysis(matrix).summary()
+        assert rows[0]["conflict"] == pytest.approx(0.5)
+
+    def test_empirical_accuracy_with_gold(self):
+        matrix = _matrix([[1], [1], [-1], [0]])
+        gold = np.array([1, 0, 0, 1])
+        rows = LFAnalysis(matrix, gold).summary()
+        # fired 3 times, correct on rows 0 (pos) and 2 (neg)
+        assert rows[0]["empirical_accuracy"] == pytest.approx(2 / 3)
+
+    def test_gold_alignment_checked(self):
+        matrix = _matrix([[1], [0]])
+        with pytest.raises(LabelingError):
+            LFAnalysis(matrix, np.array([1]))
+
+    def test_label_model_quality_requires_gold(self):
+        matrix = _matrix([[1]])
+        with pytest.raises(LabelingError):
+            LFAnalysis(matrix).label_model_quality(np.array([0.5]))

@@ -1,0 +1,95 @@
+"""Tests for repro.dataflow.mapreduce — the local MapReduce engine."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.dataflow.mapreduce import MapReduceJob, run_map, run_mapreduce
+
+
+def word_count_mapper(line):
+    for word in line.split():
+        yield word, 1
+
+
+def sum_reducer(key, values):
+    return sum(values)
+
+
+def test_word_count():
+    lines = ["a b a", "b c", "a"]
+    result = run_mapreduce(lines, word_count_mapper, sum_reducer)
+    assert result == {"a": 3, "b": 2, "c": 1}
+
+
+def test_empty_input():
+    assert run_mapreduce([], word_count_mapper, sum_reducer) == {}
+
+
+def test_combiner_preserves_result():
+    lines = ["x y x"] * 10
+    plain = run_mapreduce(lines, word_count_mapper, sum_reducer)
+    combined = run_mapreduce(
+        lines,
+        word_count_mapper,
+        sum_reducer,
+        combiner=lambda key, values: [sum(values)],
+    )
+    assert plain == combined
+
+
+def test_threaded_matches_sequential():
+    lines = [f"w{i % 7} w{i % 3}" for i in range(200)]
+    seq = run_mapreduce(lines, word_count_mapper, sum_reducer, n_threads=1)
+    par = run_mapreduce(lines, word_count_mapper, sum_reducer, n_threads=4)
+    assert seq == par
+
+
+def test_partition_count_does_not_change_result():
+    lines = [f"w{i % 5}" for i in range(50)]
+    a = run_mapreduce(lines, word_count_mapper, sum_reducer, n_partitions=1)
+    b = run_mapreduce(lines, word_count_mapper, sum_reducer, n_partitions=13)
+    assert a == b
+
+
+def test_reducer_sees_deterministic_value_order():
+    """Values arrive in (partition, input) order regardless of threads."""
+    records = list(range(40))
+
+    def mapper(r):
+        yield "k", r
+
+    def collect(key, values):
+        return list(values)
+
+    a = run_mapreduce(records, mapper, collect, n_partitions=4, n_threads=1)
+    b = run_mapreduce(records, mapper, collect, n_partitions=4, n_threads=4)
+    assert a == b
+
+
+def test_counters():
+    job = MapReduceJob(mapper=word_count_mapper, reducer=sum_reducer)
+    job.run(["a b", "c"])
+    assert job.counters["input_records"] == 2
+    assert job.counters["distinct_keys"] == 3
+
+
+def test_invalid_config():
+    with pytest.raises(ConfigurationError):
+        MapReduceJob(mapper=word_count_mapper, reducer=sum_reducer, n_partitions=0)
+    with pytest.raises(ConfigurationError):
+        MapReduceJob(mapper=word_count_mapper, reducer=sum_reducer, n_threads=0)
+
+
+def test_run_map_order_preserved():
+    records = list(range(100))
+    assert run_map(records, lambda r: r * 2) == [r * 2 for r in records]
+
+
+def test_run_map_threaded_order_preserved():
+    records = list(range(100))
+    assert run_map(records, lambda r: r + 1, n_threads=4) == [r + 1 for r in records]
+
+
+def test_keys_sorted_in_output():
+    result = run_mapreduce(["b a c"], word_count_mapper, sum_reducer)
+    assert list(result) == sorted(result)

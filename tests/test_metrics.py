@@ -1,0 +1,109 @@
+"""Tests for repro.models.metrics — AUPRC and friends."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.models.metrics import (
+    auprc,
+    f1_score,
+    pr_curve,
+    precision_recall_at,
+    relative_auprc,
+)
+
+
+def test_perfect_ranking_auprc_is_one():
+    scores = np.array([0.9, 0.8, 0.2, 0.1])
+    labels = np.array([1, 1, 0, 0])
+    assert auprc(scores, labels) == pytest.approx(1.0)
+
+
+def test_random_scores_auprc_near_base_rate():
+    rng = np.random.default_rng(0)
+    labels = (rng.random(20_000) < 0.05).astype(int)
+    scores = rng.random(20_000)
+    value = auprc(scores, labels)
+    assert 0.03 < value < 0.08
+
+
+def test_inverted_ranking_is_poor():
+    scores = np.array([0.1, 0.2, 0.8, 0.9])
+    labels = np.array([1, 1, 0, 0])
+    assert auprc(scores, labels) < 0.6
+
+
+def test_auprc_invariant_to_monotone_transform():
+    rng = np.random.default_rng(1)
+    labels = (rng.random(500) < 0.2).astype(int)
+    scores = rng.random(500) + labels
+    assert auprc(scores, labels) == pytest.approx(auprc(scores * 10 - 3, labels))
+
+
+def test_auprc_known_value():
+    # ranking: P N P -> AP = (1/1)*... precision at first pos = 1,
+    # at second pos = 2/3; AP = (1*0.5 + (2/3)*0.5)
+    scores = np.array([0.9, 0.5, 0.3])
+    labels = np.array([1, 0, 1])
+    assert auprc(scores, labels) == pytest.approx(0.5 * 1.0 + 0.5 * (2 / 3))
+
+
+def test_pr_curve_endpoints():
+    scores = np.array([0.9, 0.7, 0.5, 0.3])
+    labels = np.array([1, 0, 1, 0])
+    precision, recall, thresholds = pr_curve(scores, labels)
+    assert recall[-1] == pytest.approx(1.0)
+    assert len(precision) == len(recall) == len(thresholds)
+    assert (np.diff(recall) >= 0).all()
+
+
+def test_pr_curve_ties_collapsed():
+    scores = np.array([0.5, 0.5, 0.5, 0.1])
+    labels = np.array([1, 0, 1, 0])
+    precision, recall, thresholds = pr_curve(scores, labels)
+    assert len(thresholds) == 2  # two distinct scores
+
+
+def test_requires_positive_labels():
+    with pytest.raises(ConfigurationError):
+        auprc(np.array([0.5]), np.array([0]))
+
+
+def test_binary_labels_enforced():
+    with pytest.raises(ConfigurationError):
+        auprc(np.array([0.5, 0.1]), np.array([1, 2]))
+
+
+def test_shape_mismatch():
+    with pytest.raises(ConfigurationError):
+        auprc(np.array([0.5]), np.array([1, 0]))
+
+
+def test_precision_recall_at_threshold():
+    scores = np.array([0.9, 0.6, 0.4, 0.1])
+    labels = np.array([1, 0, 1, 0])
+    precision, recall = precision_recall_at(scores, labels, threshold=0.5)
+    assert precision == pytest.approx(0.5)
+    assert recall == pytest.approx(0.5)
+
+
+def test_precision_zero_when_no_predictions():
+    precision, recall = precision_recall_at(
+        np.array([0.1, 0.2]), np.array([1, 0]), threshold=0.9
+    )
+    assert precision == 0.0
+    assert recall == 0.0
+
+
+def test_f1_harmonic_mean():
+    scores = np.array([0.9, 0.6, 0.4, 0.1])
+    labels = np.array([1, 0, 1, 0])
+    assert f1_score(scores, labels, 0.5) == pytest.approx(0.5)
+
+
+def test_relative_auprc():
+    scores = np.array([0.9, 0.1])
+    labels = np.array([1, 0])
+    assert relative_auprc(scores, labels, baseline_auprc=0.5) == pytest.approx(2.0)
+    with pytest.raises(ConfigurationError):
+        relative_auprc(scores, labels, baseline_auprc=0.0)

@@ -1,0 +1,157 @@
+"""Tests for repro.models.linear / mlp / base — NumPy estimators."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError, NotFittedError
+from repro.models.base import bce_loss, sigmoid, validate_training_inputs
+from repro.models.linear import LogisticRegression
+from repro.models.metrics import auprc
+from repro.models.mlp import MLPClassifier
+
+
+def _linear_data(n=800, d=6, seed=0, noise=0.5):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    w = rng.normal(size=d)
+    logits = X @ w + noise * rng.normal(size=n)
+    y = (logits > 0).astype(float)
+    return X, y
+
+
+def _xor_data(n=1200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(float)
+    return X, y
+
+
+class TestBaseHelpers:
+    def test_sigmoid_stable(self):
+        assert sigmoid(np.array([-1000.0]))[0] == pytest.approx(0.0)
+        assert sigmoid(np.array([1000.0]))[0] == pytest.approx(1.0)
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_bce_loss_perfect_prediction(self):
+        proba = np.array([1.0, 0.0])
+        targets = np.array([1.0, 0.0])
+        weights = np.ones(2)
+        assert bce_loss(proba, targets, weights) < 1e-6
+
+    def test_validate_rejects_bad_targets(self):
+        with pytest.raises(ConfigurationError):
+            validate_training_inputs(np.zeros((2, 1)), np.array([0.0, 1.5]), None)
+
+    def test_validate_rejects_negative_weights(self):
+        with pytest.raises(ConfigurationError):
+            validate_training_inputs(
+                np.zeros((2, 1)), np.array([0.0, 1.0]), np.array([1.0, -1.0])
+            )
+
+    def test_validate_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            validate_training_inputs(np.zeros((0, 1)), np.zeros(0), None)
+
+    def test_validate_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            validate_training_inputs(np.zeros((3, 1)), np.zeros(2), None)
+
+
+class TestLogisticRegression:
+    def test_learns_linear_boundary(self):
+        X, y = _linear_data()
+        model = LogisticRegression(seed=0).fit(X, y)
+        assert auprc(model.predict_proba(X), y.astype(int)) > 0.9
+
+    def test_soft_targets_accepted(self):
+        X, y = _linear_data()
+        soft = np.clip(y * 0.9 + 0.05, 0, 1)
+        model = LogisticRegression(seed=0).fit(X, soft)
+        assert auprc(model.predict_proba(X), y.astype(int)) > 0.85
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict_proba(np.zeros((1, 2)))
+
+    def test_deterministic(self):
+        X, y = _linear_data()
+        a = LogisticRegression(seed=1).fit(X, y).coef_
+        b = LogisticRegression(seed=1).fit(X, y).coef_
+        assert np.allclose(a, b)
+
+    def test_l2_shrinks_weights(self):
+        X, y = _linear_data()
+        free = LogisticRegression(l2=1e-6, seed=0).fit(X, y)
+        shrunk = LogisticRegression(l2=1.0, seed=0).fit(X, y)
+        assert np.linalg.norm(shrunk.coef_) < np.linalg.norm(free.coef_)
+
+    def test_sample_weight_zero_ignores_points(self):
+        X, y = _linear_data(n=300)
+        # corrupt half the data but zero-weight it
+        X2 = np.vstack([X, X])
+        y2 = np.concatenate([y, 1 - y])
+        w = np.concatenate([np.ones(len(y)), np.zeros(len(y))])
+        model = LogisticRegression(seed=0).fit(X2, y2, sample_weight=w)
+        assert auprc(model.predict_proba(X), y.astype(int)) > 0.9
+
+    def test_loss_decreases(self):
+        X, y = _linear_data()
+        model = LogisticRegression(seed=0, n_epochs=100).fit(X, y)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+
+class TestMLP:
+    def test_learns_xor(self):
+        X, y = _xor_data()
+        model = MLPClassifier(
+            hidden_sizes=(16, 8), n_epochs=150, seed=0,
+            early_stopping_fraction=0.0, learning_rate=5e-3,
+        ).fit(X, y)
+        predictions = model.predict(X)
+        assert (predictions == y).mean() > 0.9
+
+    def test_hidden_and_head_compose(self):
+        X, y = _linear_data(n=300)
+        model = MLPClassifier(hidden_sizes=(8, 4), n_epochs=20, seed=0).fit(X, y)
+        hidden = model.hidden(X)
+        assert hidden.shape == (len(X), 4)
+        assert np.allclose(model.head(hidden), model.predict_proba(X))
+
+    def test_early_stopping_restores_best(self):
+        X, y = _linear_data(n=400)
+        model = MLPClassifier(
+            n_epochs=60, seed=0, early_stopping_fraction=0.2, patience=3
+        ).fit(X, y)
+        assert model.val_loss_history_
+        assert len(model.loss_history_) <= 60
+
+    def test_deterministic(self):
+        X, y = _linear_data(n=200)
+        a = MLPClassifier(n_epochs=8, seed=5).fit(X, y).predict_proba(X)
+        b = MLPClassifier(n_epochs=8, seed=5).fit(X, y).predict_proba(X)
+        assert np.allclose(a, b)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            MLPClassifier(hidden_sizes=())
+        with pytest.raises(ConfigurationError):
+            MLPClassifier(hidden_sizes=(0,))
+        with pytest.raises(ConfigurationError):
+            MLPClassifier(early_stopping_fraction=0.7)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            MLPClassifier().predict_proba(np.zeros((1, 2)))
+
+    def test_probabilities_in_unit_interval(self):
+        X, y = _linear_data(n=200)
+        model = MLPClassifier(n_epochs=10, seed=0).fit(X, y)
+        proba = model.predict_proba(X)
+        assert proba.min() >= 0.0
+        assert proba.max() <= 1.0
+
+    def test_soft_targets(self):
+        X, y = _linear_data(n=500)
+        soft = np.where(y == 1, 0.8, 0.05)
+        model = MLPClassifier(n_epochs=40, seed=0).fit(X, soft)
+        assert auprc(model.predict_proba(X), y.astype(int)) > 0.85

@@ -1,0 +1,146 @@
+"""Additional targeted coverage: options and paths not exercised by the
+main suites (presence-free vectorization, calibration determinism,
+world accessors, reporting formats)."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.entities import Modality
+from repro.datagen.tasks import build_definition, classification_task
+from repro.datagen.world import World
+from repro.features.schema import FeatureKind, FeatureSchema, FeatureSpec
+from repro.features.table import MISSING, FeatureTable
+from repro.features.vectorize import Vectorizer
+
+
+class TestVectorizerWithoutPresence:
+    def _table(self):
+        schema = FeatureSchema(
+            [
+                FeatureSpec("cats", FeatureKind.CATEGORICAL),
+                FeatureSpec("num", FeatureKind.NUMERIC),
+            ]
+        )
+        return FeatureTable(
+            schema=schema,
+            columns={
+                "cats": [frozenset({"a"}), frozenset({"b"}), MISSING],
+                "num": [1.0, 2.0, MISSING],
+            },
+            point_ids=[0, 1, 2],
+            modalities=[Modality.TEXT] * 3,
+        )
+
+    def test_no_presence_columns(self):
+        table = self._table()
+        vec = Vectorizer(table.schema, min_count=1, add_presence=False).fit(table)
+        # cats vocab (2) + num (1), no presence bits
+        assert vec.n_columns == 3
+        names = vec.column_names()
+        assert not any("#present" in n for n in names)
+
+    def test_missing_rows_are_zero(self):
+        table = self._table()
+        vec = Vectorizer(table.schema, min_count=1, add_presence=False).fit(table)
+        X = vec.transform(table)
+        assert np.all(X[2] == 0.0)
+
+
+class TestWorldAccessors:
+    def test_user_table_len(self, tiny_world):
+        assert len(tiny_world.users) == tiny_world.config.n_users
+
+    def test_task_runtime_name(self, tiny_task):
+        assert tiny_task.name == "CT1"
+
+    def test_calibration_deterministic(self):
+        world = World(seed=5)
+        definition = build_definition(classification_task("CT2"), seed=5, world=world)
+        a = world.calibrate(definition, n_calibration=3000)
+        b = world.calibrate(definition, n_calibration=3000)
+        assert a.threshold == b.threshold
+
+    def test_calibration_sample_size_changes_threshold_little(self):
+        world = World(seed=5)
+        definition = build_definition(classification_task("CT2"), seed=5, world=world)
+        a = world.calibrate(definition, n_calibration=4000)
+        b = world.calibrate(definition, n_calibration=8000)
+        assert abs(a.threshold - b.threshold) < 0.3
+
+
+class TestLabelModelModes:
+    def test_polarity_consistency_can_be_disabled(self):
+        from repro.labeling.label_model import GenerativeLabelModel
+        from repro.labeling.lf import LabelingFunction
+        from repro.labeling.matrix import LabelMatrix
+
+        rng = np.random.default_rng(0)
+        votes = rng.choice([-1, 0, 1], size=(200, 3)).astype(np.int8)
+        lfs = [LabelingFunction(f"lf{j}", lambda row: 0) for j in range(3)]
+        matrix = LabelMatrix(votes, lfs)
+        model = GenerativeLabelModel(
+            class_balance=0.3, polarity_consistent=False
+        ).fit(matrix)
+        proba = model.predict_proba(matrix)
+        assert (proba >= 0).all() and (proba <= 1).all()
+
+    def test_smoothing_validation(self):
+        from repro.core.exceptions import LabelingError
+        from repro.labeling.label_model import GenerativeLabelModel
+
+        with pytest.raises(LabelingError):
+            GenerativeLabelModel(smoothing=0.0)
+
+
+class TestMLPInternals:
+    def test_no_early_stopping_runs_all_epochs(self):
+        from repro.models.mlp import MLPClassifier
+
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(120, 3))
+        y = (X[:, 0] > 0).astype(float)
+        model = MLPClassifier(
+            n_epochs=7, early_stopping_fraction=0.0, seed=0
+        ).fit(X, y)
+        assert len(model.loss_history_) == 7
+        assert model.val_loss_history_ == []
+
+    def test_embedding_dim_property(self):
+        from repro.models.mlp import MLPClassifier
+
+        assert MLPClassifier(hidden_sizes=(32, 12)).embedding_dim == 12
+
+
+class TestExperimentConstants:
+    def test_paper_table_constants_cover_all_tasks(self):
+        from repro.datagen.tasks import list_tasks
+        from repro.experiments.end_to_end import PAPER_TABLE2
+        from repro.experiments.label_prop import PAPER_TABLE3
+        from repro.experiments.table1 import PAPER_TABLE1
+
+        tasks = set(list_tasks())
+        assert set(PAPER_TABLE1) == tasks
+        assert set(PAPER_TABLE2) == tasks
+        assert set(PAPER_TABLE3) == tasks
+
+    def test_paper_figure_constants_shapes(self):
+        from repro.experiments.factor_analysis import FACTOR_STEPS, PAPER_FIGURE6
+        from repro.experiments.lesion import PAPER_FIGURE7, SET_PREFIXES
+
+        assert len(PAPER_FIGURE6) == len(FACTOR_STEPS) == 8
+        assert len(PAPER_FIGURE7) == len(SET_PREFIXES) == 4
+
+
+class TestCatalogSchemaConsistency:
+    def test_pipeline_schema_matches_catalog(self, tiny_pipeline, tiny_catalog):
+        assert tiny_pipeline.schema.names == tiny_catalog.schema().names
+
+    def test_model_schema_subset_of_lf_schema_union_image(self, tiny_pipeline):
+        lf_names = set(tiny_pipeline.lf_feature_schema().names)
+        image_model = set(
+            tiny_pipeline.model_feature_schema(Modality.IMAGE).names
+        )
+        # model features are LF features minus nonservables, plus the
+        # image-specific set
+        extra = image_model - lf_names
+        assert extra <= {"org_embedding", "generic_embedding", "image_quality"}

@@ -1,0 +1,167 @@
+"""Tests for repro.labeling.multiclass — the K-ary weak-supervision
+extension the paper's §4.1 promises."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import LabelingError, NotFittedError
+from repro.core.rng import make_rng
+from repro.datagen.entities import Modality
+from repro.features.schema import FeatureKind, FeatureSchema, FeatureSpec
+from repro.features.table import FeatureTable
+from repro.labeling.multiclass import (
+    MC_ABSTAIN,
+    MulticlassLF,
+    MulticlassLabelModel,
+    apply_multiclass_lfs,
+    class_value_lf,
+)
+
+
+def _synthetic_votes(
+    n: int,
+    n_classes: int,
+    accuracies: list[float],
+    propensities: list[float],
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    rng = make_rng(seed)
+    y = rng.integers(0, n_classes, size=n)
+    votes = np.full((n, len(accuracies)), MC_ABSTAIN, dtype=np.int64)
+    for j, (acc, prop) in enumerate(zip(accuracies, propensities)):
+        fires = rng.random(n) < prop
+        correct = rng.random(n) < acc
+        wrong = rng.integers(1, n_classes, size=n)
+        votes[fires & correct, j] = y[fires & correct]
+        votes[fires & ~correct, j] = (y[fires & ~correct] + wrong[fires & ~correct]) % n_classes
+    return votes, y
+
+
+class TestMulticlassLF:
+    def test_vote_range_enforced(self):
+        lf = MulticlassLF("bad", lambda row: 5, n_classes=3)
+        with pytest.raises(LabelingError):
+            lf({})
+
+    def test_abstain_allowed(self):
+        lf = MulticlassLF("ok", lambda row: MC_ABSTAIN, n_classes=3)
+        assert lf({}) == MC_ABSTAIN
+
+    def test_class_value_lf(self):
+        lf = class_value_lf("c", "topics", frozenset({"t1"}), 2, n_classes=4)
+        assert lf({"topics": frozenset({"t1", "t9"})}) == 2
+        assert lf({"topics": frozenset({"t9"})}) == MC_ABSTAIN
+        assert lf({"topics": None}) == MC_ABSTAIN
+
+    def test_class_value_lf_validates_class(self):
+        with pytest.raises(LabelingError):
+            class_value_lf("c", "topics", frozenset({"t1"}), 5, n_classes=3)
+
+
+class TestApply:
+    def _table(self):
+        schema = FeatureSchema([FeatureSpec("cats", FeatureKind.CATEGORICAL)])
+        return FeatureTable(
+            schema=schema,
+            columns={"cats": [frozenset({"a"}), frozenset({"b"}), frozenset()]},
+            point_ids=[0, 1, 2],
+            modalities=[Modality.TEXT] * 3,
+        )
+
+    def test_apply_shape_and_votes(self):
+        lfs = [
+            class_value_lf("a", "cats", frozenset({"a"}), 0, n_classes=3),
+            class_value_lf("b", "cats", frozenset({"b"}), 1, n_classes=3),
+        ]
+        votes = apply_multiclass_lfs(lfs, self._table())
+        assert votes.shape == (3, 2)
+        assert votes[0].tolist() == [0, MC_ABSTAIN]
+        assert votes[1].tolist() == [MC_ABSTAIN, 1]
+        assert votes[2].tolist() == [MC_ABSTAIN, MC_ABSTAIN]
+
+    def test_mixed_n_classes_rejected(self):
+        lfs = [
+            class_value_lf("a", "cats", frozenset({"a"}), 0, n_classes=3),
+            class_value_lf("b", "cats", frozenset({"b"}), 1, n_classes=4),
+        ]
+        with pytest.raises(LabelingError):
+            apply_multiclass_lfs(lfs, self._table())
+
+    def test_empty_lfs_rejected(self):
+        with pytest.raises(LabelingError):
+            apply_multiclass_lfs([], self._table())
+
+
+class TestMulticlassLabelModel:
+    def test_accurate_lfs_recover_labels(self):
+        votes, y = _synthetic_votes(800, 3, [0.95, 0.95, 0.9], [0.8, 0.8, 0.8])
+        model = MulticlassLabelModel(n_classes=3)
+        predicted = model.fit_predict(votes)
+        covered = (votes != MC_ABSTAIN).any(axis=1)
+        assert (predicted[covered] == y[covered]).mean() > 0.9
+
+    def test_balance_learned(self):
+        rng = make_rng(3)
+        n = 3000
+        y = rng.choice(3, size=n, p=[0.6, 0.3, 0.1])
+        votes = np.full((n, 3), MC_ABSTAIN, dtype=np.int64)
+        for j in range(3):
+            fires = rng.random(n) < 0.7
+            correct = rng.random(n) < 0.9
+            votes[fires & correct, j] = y[fires & correct]
+            votes[fires & ~correct, j] = (y[fires & ~correct] + 1) % 3
+        model = MulticlassLabelModel(n_classes=3).fit(votes)
+        assert model.balance_ is not None
+        assert abs(model.balance_[0] - 0.6) < 0.15
+
+    def test_fixed_class_balance_respected(self):
+        votes, _ = _synthetic_votes(300, 3, [0.9], [0.5])
+        balance = np.array([0.5, 0.3, 0.2])
+        model = MulticlassLabelModel(n_classes=3, class_balance=balance).fit(votes)
+        assert np.allclose(model.balance_, balance)
+
+    def test_uncovered_points_get_balance(self):
+        votes, _ = _synthetic_votes(200, 3, [0.9], [0.3], seed=1)
+        balance = np.array([0.2, 0.3, 0.5])
+        model = MulticlassLabelModel(n_classes=3, class_balance=balance).fit(votes)
+        proba = model.predict_proba(votes)
+        uncovered = (votes == MC_ABSTAIN).all(axis=1)
+        assert uncovered.any()
+        assert np.allclose(proba[uncovered], balance)
+
+    def test_posterior_is_distribution(self):
+        votes, _ = _synthetic_votes(300, 4, [0.8, 0.7], [0.6, 0.6])
+        proba = MulticlassLabelModel(n_classes=4).fit(votes).predict_proba(votes)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert (proba >= 0).all()
+
+    def test_binary_case_agrees_with_direction(self):
+        """K=2 multiclass model ranks like the binary model on clean
+        votes."""
+        votes, y = _synthetic_votes(600, 2, [0.9, 0.85], [0.7, 0.7], seed=5)
+        model = MulticlassLabelModel(n_classes=2).fit(votes)
+        proba = model.predict_proba(votes)[:, 1]
+        covered = (votes != MC_ABSTAIN).any(axis=1)
+        predicted = (proba > 0.5).astype(int)
+        assert (predicted[covered] == y[covered]).mean() > 0.85
+
+    def test_validation_errors(self):
+        with pytest.raises(LabelingError):
+            MulticlassLabelModel(n_classes=1)
+        with pytest.raises(LabelingError):
+            MulticlassLabelModel(n_classes=3, class_balance=np.array([0.5, 0.5]))
+        with pytest.raises(LabelingError):
+            MulticlassLabelModel(n_classes=3, smoothing=0.0)
+        model = MulticlassLabelModel(n_classes=3)
+        with pytest.raises(NotFittedError):
+            model.predict(np.zeros((2, 1), dtype=np.int64))
+        with pytest.raises(LabelingError):
+            model.fit(np.full((4, 2), MC_ABSTAIN, dtype=np.int64))
+        with pytest.raises(LabelingError):
+            model.fit(np.array([[7]], dtype=np.int64))
+
+    def test_lf_count_mismatch(self):
+        votes, _ = _synthetic_votes(100, 3, [0.9, 0.9], [0.8, 0.8])
+        model = MulticlassLabelModel(n_classes=3).fit(votes)
+        with pytest.raises(LabelingError):
+            model.predict_proba(votes[:, :1])

@@ -1,0 +1,55 @@
+"""Tests for repro.dataflow.plan — staged dataflow plans."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.dataflow.plan import StagePlan
+
+
+def _plan() -> StagePlan:
+    plan = StagePlan()
+    plan.add("double", lambda x: x * 2)
+    plan.add("inc", lambda x: x + 1)
+    plan.add("square", lambda x: x * x)
+    return plan
+
+
+def test_run_chains_stages():
+    run = _plan().run(3)
+    assert run.output == 49  # ((3*2)+1)^2
+    assert run.artifacts == {"double": 6, "inc": 7, "square": 49}
+
+
+def test_timings_recorded():
+    run = _plan().run(1)
+    assert set(run.timings) == {"double", "inc", "square"}
+    assert all(t >= 0 for t in run.timings.values())
+
+
+def test_resume_from_stage_with_injected_artifact():
+    """A team member re-enters the pipeline at their step with a
+    substituted upstream artifact."""
+    run = _plan().run(0, start_at="inc", injected=10)
+    assert run.output == 121
+    assert "double" not in run.artifacts
+
+
+def test_resume_unknown_stage_raises():
+    with pytest.raises(ConfigurationError):
+        _plan().run(0, start_at="nope", injected=1)
+
+
+def test_duplicate_stage_name_rejected():
+    plan = StagePlan()
+    plan.add("a", lambda x: x)
+    with pytest.raises(ConfigurationError):
+        plan.add("a", lambda x: x)
+
+
+def test_stage_names():
+    assert _plan().stage_names() == ["double", "inc", "square"]
+
+
+def test_empty_plan_output_is_none():
+    run = StagePlan().run(5)
+    assert run.output is None

@@ -1,0 +1,158 @@
+"""Tests for repro.propagation — exact and streaming label propagation,
+and the propagation->LF adapter."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import GraphError
+from repro.datagen.entities import Modality
+from repro.features.schema import FeatureKind, FeatureSchema, FeatureSpec
+from repro.features.table import FeatureTable
+from repro.labeling.lf import NEGATIVE, POSITIVE
+from repro.propagation.graph import GraphConfig, build_knn_graph
+from repro.propagation.lf_adapter import (
+    PROPAGATION_FEATURE,
+    propagation_feature_spec,
+    propagation_lfs,
+    tune_threshold,
+)
+from repro.propagation.propagate import LabelPropagation
+from repro.propagation.streaming import StreamingLabelPropagation
+
+
+@pytest.fixture(scope="module")
+def cluster_graph():
+    rng = np.random.default_rng(0)
+    schema = FeatureSchema([FeatureSpec("emb", FeatureKind.EMBEDDING)])
+    embs = []
+    for c in range(2):
+        center = np.zeros(3)
+        center[c] = 4.0
+        for _ in range(30):
+            embs.append(center + rng.normal(0, 0.3, size=3))
+    table = FeatureTable(
+        schema=schema,
+        columns={"emb": embs},
+        point_ids=list(range(60)),
+        modalities=[Modality.IMAGE] * 60,
+    )
+    return build_knn_graph(table, GraphConfig(k=5, min_weight=0.0))
+
+
+def test_propagation_fills_clusters(cluster_graph):
+    # seed one node per cluster
+    result = LabelPropagation(prior=0.5).run(
+        cluster_graph, np.array([0, 30]), np.array([1, 0])
+    )
+    assert result.scores[:30].mean() > 0.8
+    assert result.scores[30:].mean() < 0.2
+
+
+def test_seeds_stay_clamped(cluster_graph):
+    result = LabelPropagation().run(cluster_graph, np.array([0, 30]), np.array([1, 0]))
+    assert result.scores[0] == 1.0
+    assert result.scores[30] == 0.0
+
+
+def test_scores_in_unit_interval(cluster_graph):
+    result = LabelPropagation().run(cluster_graph, np.array([0, 30]), np.array([1, 0]))
+    assert result.scores.min() >= 0.0
+    assert result.scores.max() <= 1.0
+
+
+def test_convergence_flag(cluster_graph):
+    result = LabelPropagation(max_iter=500, tol=1e-4).run(
+        cluster_graph, np.array([0, 30]), np.array([1, 0])
+    )
+    assert result.converged
+    assert result.n_iterations < 500
+
+
+def test_unreached_nodes_keep_prior():
+    """Nodes in a component with no seed stay at the prior."""
+    schema = FeatureSchema([FeatureSpec("emb", FeatureKind.EMBEDDING)])
+    embs = [np.array([0.0, 5.0]), np.array([0.1, 5.0]),
+            np.array([5.0, 0.0]), np.array([5.1, 0.0])]
+    table = FeatureTable(
+        schema=schema, columns={"emb": embs}, point_ids=[0, 1, 2, 3],
+        modalities=[Modality.IMAGE] * 4,
+    )
+    graph = build_knn_graph(table, GraphConfig(k=1, min_weight=0.9))
+    result = LabelPropagation(prior=0.3).run(graph, np.array([0]), np.array([1]))
+    assert result.scores[2] == pytest.approx(0.3)
+    assert result.scores[3] == pytest.approx(0.3)
+    assert result.unreached_fraction() > 0
+
+
+def test_validation_errors(cluster_graph):
+    propagator = LabelPropagation()
+    with pytest.raises(GraphError):
+        propagator.run(cluster_graph, np.array([]), np.array([]))
+    with pytest.raises(GraphError):
+        propagator.run(cluster_graph, np.array([0]), np.array([2]))
+    with pytest.raises(GraphError):
+        propagator.run(cluster_graph, np.array([999]), np.array([1]))
+    with pytest.raises(GraphError):
+        LabelPropagation(prior=2.0)
+
+
+def test_streaming_approximates_exact(cluster_graph):
+    seeds = np.array([0, 1, 30, 31])
+    labels = np.array([1, 1, 0, 0])
+    exact = LabelPropagation().run(cluster_graph, seeds, labels)
+    streaming = StreamingLabelPropagation(n_sweeps=3).run(cluster_graph, seeds, labels)
+    # same hard decisions on the vast majority of nodes
+    agree = ((exact.scores > 0.5) == (streaming.scores > 0.5)).mean()
+    assert agree > 0.9
+
+
+def test_streaming_validation(cluster_graph):
+    with pytest.raises(GraphError):
+        StreamingLabelPropagation(n_sweeps=0)
+    with pytest.raises(GraphError):
+        StreamingLabelPropagation().run(cluster_graph, np.array([]), np.array([]))
+
+
+class TestThresholdTuning:
+    def test_tune_threshold_hits_precision(self):
+        scores = np.linspace(0, 1, 200)
+        labels = (scores > 0.7).astype(int)
+        threshold = tune_threshold(scores, labels, 0.95, POSITIVE)
+        assert threshold is not None
+        predicted = scores >= threshold
+        assert labels[predicted].mean() >= 0.95
+
+    def test_tune_threshold_negative_polarity(self):
+        scores = np.linspace(0, 1, 200)
+        labels = (scores > 0.7).astype(int)
+        threshold = tune_threshold(scores, labels, 0.95, NEGATIVE)
+        assert threshold is not None
+        predicted = scores <= threshold
+        assert (labels[predicted] == 0).mean() >= 0.95
+
+    def test_unreachable_precision_returns_none(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(100)
+        labels = rng.integers(0, 2, 100)
+        assert tune_threshold(scores, labels, 0.999, POSITIVE, min_matches=30) is None
+
+    def test_alignment_checked(self):
+        with pytest.raises(GraphError):
+            tune_threshold(np.zeros(3), np.zeros(4, dtype=int), 0.5, POSITIVE)
+
+
+def test_propagation_lfs_graded():
+    scores = np.linspace(0, 1, 400)
+    labels = (scores > 0.6).astype(int)
+    lfs = propagation_lfs(scores, labels)
+    names = [lf.name for lf in lfs]
+    assert any("prop_pos" in n for n in names)
+    assert any("prop_neg" in n for n in names)
+    assert all(lf.origin == "propagation" for lf in lfs)
+    assert all(lf.depends_on == (PROPAGATION_FEATURE,) for lf in lfs)
+
+
+def test_propagation_feature_spec_nonservable():
+    spec = propagation_feature_spec()
+    assert spec.servable is False
+    assert spec.name == PROPAGATION_FEATURE

@@ -1,0 +1,222 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.entities import Modality
+from repro.features.distance import SimilarityConfig, algorithm1_similarity
+from repro.features.schema import FeatureKind, FeatureSchema, FeatureSpec
+from repro.features.table import FeatureTable
+from repro.features.vectorize import Vectorizer
+from repro.labeling.lf import LabelingFunction
+from repro.labeling.majority import MajorityVoter
+from repro.labeling.matrix import LabelMatrix
+from repro.mining.apriori import apriori, itemset_support
+from repro.models.base import sigmoid
+from repro.models.metrics import auprc, pr_curve
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+tokens = st.text(alphabet="abcdefg", min_size=1, max_size=3)
+token_sets = st.frozensets(tokens, max_size=5)
+transactions = st.lists(
+    st.frozensets(st.sampled_from("abcdef"), max_size=4), min_size=1, max_size=40
+)
+
+
+@st.composite
+def score_label_pairs(draw):
+    n = draw(st.integers(min_value=3, max_value=60))
+    scores = draw(
+        st.lists(
+            st.floats(min_value=0, max_value=1, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    labels = draw(st.lists(st.integers(min_value=0, max_value=1), min_size=n, max_size=n))
+    if sum(labels) == 0:
+        labels[0] = 1
+    # snap scores to a coarse grid: keeps ties exact under power-of-two
+    # scaling and avoids subnormals that underflow to zero
+    return np.round(np.array(scores), 6), np.array(labels)
+
+
+@st.composite
+def vote_matrices(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    m = draw(st.integers(min_value=1, max_value=5))
+    votes = draw(
+        st.lists(
+            st.lists(st.sampled_from([-1, 0, 1]), min_size=m, max_size=m),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    lfs = [LabelingFunction(f"lf{j}", lambda row: 0) for j in range(m)]
+    return LabelMatrix(np.array(votes, dtype=np.int8), lfs)
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+
+@given(score_label_pairs())
+@settings(max_examples=60, deadline=None)
+def test_auprc_bounded(pair):
+    scores, labels = pair
+    value = auprc(scores, labels)
+    assert 0.0 <= value <= 1.0
+
+
+@given(score_label_pairs())
+@settings(max_examples=60, deadline=None)
+def test_auprc_at_least_base_rate_for_perfect_scores(pair):
+    _, labels = pair
+    # scoring by the label itself is a perfect ranking
+    assert auprc(labels.astype(float), labels) == 1.0
+
+
+@given(score_label_pairs())
+@settings(max_examples=60, deadline=None)
+def test_pr_curve_recall_monotone(pair):
+    scores, labels = pair
+    _, recall, _ = pr_curve(scores, labels)
+    assert (np.diff(recall) >= -1e-12).all()
+
+
+@given(score_label_pairs(), st.sampled_from([0.25, 0.5, 2.0, 4.0, 8.0]))
+@settings(max_examples=40, deadline=None)
+def test_auprc_scale_invariant(pair, factor):
+    # powers of two scale floats exactly, preserving score ties; an
+    # arbitrary factor can create/destroy ties through rounding and
+    # legitimately change the tie-collapsed PR curve
+    scores, labels = pair
+    assert auprc(scores, labels) == auprc(scores * factor, labels)
+
+
+# ---------------------------------------------------------------------------
+# apriori
+# ---------------------------------------------------------------------------
+
+
+@given(transactions, st.floats(min_value=0.05, max_value=1.0))
+@settings(max_examples=40, deadline=None)
+def test_apriori_supports_correct(txs, min_support):
+    result = apriori(txs, min_support=min_support, max_order=2)
+    n = len(txs)
+    for itemset, support in result.items():
+        true_support = itemset_support(txs, itemset) / n
+        assert abs(support - true_support) < 1e-12
+        assert true_support >= min_support - 1e-9 or itemset_support(txs, itemset) >= 1
+
+
+@given(transactions)
+@settings(max_examples=40, deadline=None)
+def test_apriori_antimonotonicity(txs):
+    result = apriori(txs, min_support=0.1, max_order=3)
+    for itemset, support in result.items():
+        for item in itemset:
+            subset = itemset - {item}
+            if subset:
+                assert result[subset] + 1e-12 >= support
+
+
+# ---------------------------------------------------------------------------
+# label matrix / majority vote
+# ---------------------------------------------------------------------------
+
+
+@given(vote_matrices())
+@settings(max_examples=60, deadline=None)
+def test_matrix_statistics_bounded(matrix):
+    assert 0.0 <= matrix.coverage() <= 1.0
+    assert 0.0 <= matrix.overlap() <= 1.0
+    assert matrix.conflict() <= matrix.overlap() + 1e-12
+    assert (matrix.lf_coverage() <= 1.0).all()
+
+
+@given(vote_matrices())
+@settings(max_examples=60, deadline=None)
+def test_majority_vote_bounds(matrix):
+    proba = MajorityVoter(prior=0.3).predict_proba(matrix)
+    assert (proba >= 0.0).all() and (proba <= 1.0).all()
+    # rows with only positive votes must score 1.0
+    only_pos = ((matrix.votes == 1).any(axis=1)) & (~(matrix.votes == -1).any(axis=1))
+    assert np.allclose(proba[only_pos], 1.0)
+
+
+# ---------------------------------------------------------------------------
+# similarity
+# ---------------------------------------------------------------------------
+
+
+@given(token_sets, token_sets)
+@settings(max_examples=80, deadline=None)
+def test_similarity_symmetric_and_bounded(a, b):
+    schema = FeatureSchema([FeatureSpec("cats", FeatureKind.CATEGORICAL)])
+    sim_ab = algorithm1_similarity({"cats": a}, {"cats": b}, schema)
+    sim_ba = algorithm1_similarity({"cats": b}, {"cats": a}, schema)
+    assert sim_ab == sim_ba
+    assert 0.0 <= sim_ab <= 1.0
+
+
+@given(token_sets)
+@settings(max_examples=40, deadline=None)
+def test_self_similarity_is_one(a):
+    schema = FeatureSchema([FeatureSpec("cats", FeatureKind.CATEGORICAL)])
+    assert algorithm1_similarity({"cats": a}, {"cats": a}, schema) == 1.0
+
+
+@given(
+    st.floats(min_value=-5, max_value=5),
+    st.floats(min_value=-5, max_value=5),
+    st.floats(min_value=0.5, max_value=20),
+)
+@settings(max_examples=60, deadline=None)
+def test_numeric_similarity_triangle_like(x, y, value_range):
+    schema = FeatureSchema([FeatureSpec("n", FeatureKind.NUMERIC)])
+    config = SimilarityConfig(numeric_range={"n": value_range})
+    sim = algorithm1_similarity({"n": x}, {"n": y}, schema, config)
+    assert 0.0 <= sim <= 1.0
+    closer = algorithm1_similarity({"n": x}, {"n": (x + y) / 2}, schema, config)
+    assert closer >= sim - 1e-9
+
+
+# ---------------------------------------------------------------------------
+# vectorizer
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(token_sets, min_size=2, max_size=25))
+@settings(max_examples=40, deadline=None)
+def test_vectorizer_output_binary_for_categoricals(columns):
+    schema = FeatureSchema([FeatureSpec("cats", FeatureKind.CATEGORICAL)])
+    table = FeatureTable(
+        schema=schema,
+        columns={"cats": list(columns)},
+        point_ids=list(range(len(columns))),
+        modalities=[Modality.TEXT] * len(columns),
+    )
+    vec = Vectorizer(schema, min_count=1)
+    X = vec.fit_transform(table)
+    assert set(np.unique(X)) <= {0.0, 1.0}
+    assert X.shape[0] == len(columns)
+
+
+# ---------------------------------------------------------------------------
+# misc numeric
+# ---------------------------------------------------------------------------
+
+
+@given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+@settings(max_examples=80, deadline=None)
+def test_sigmoid_bounded_and_monotone(z):
+    value = sigmoid(np.array([z, z + 1.0]))
+    assert 0.0 <= value[0] <= 1.0
+    assert value[1] >= value[0]

@@ -1,0 +1,151 @@
+"""Tests for repro.resources — base classes, noise channels, services."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ModalityError, ResourceError
+from repro.core.rng import spawn
+from repro.datagen.entities import Modality
+from repro.features.schema import FeatureKind, FeatureSpec
+from repro.resources.base import ChannelNoise, LatentCategoricalService
+
+
+class TestChannelNoise:
+    def test_noise_free_channel_is_identity(self, rng):
+        channel = ChannelNoise()
+        values = (1, 5, 9)
+        assert channel.observe(values, universe=20, rng=rng) == values
+
+    def test_full_drop_removes_everything(self, rng):
+        channel = ChannelNoise(drop=1.0)
+        assert channel.observe((1, 2, 3), universe=10, rng=rng) == ()
+
+    def test_drop_rate_statistics(self, rng):
+        channel = ChannelNoise(drop=0.5)
+        survived = sum(
+            len(channel.observe(tuple(range(10)), universe=100, rng=rng))
+            for _ in range(200)
+        )
+        assert 800 < survived < 1200
+
+    def test_spurious_adds_values(self, rng):
+        channel = ChannelNoise(spurious=2.0)
+        total = sum(
+            len(channel.observe((), universe=1000, rng=rng)) for _ in range(200)
+        )
+        assert 300 < total < 500
+
+    def test_output_sorted_and_unique(self, rng):
+        channel = ChannelNoise(spurious=3.0)
+        for _ in range(50):
+            out = channel.observe((5, 1), universe=10, rng=rng)
+            assert list(out) == sorted(set(out))
+
+    def test_swap_replaces_values(self, rng):
+        channel = ChannelNoise(swap=1.0)
+        values = tuple(range(50, 60))
+        out = channel.observe(values, universe=10_000, rng=rng)
+        assert len(set(out) & set(values)) <= 2  # nearly all swapped
+
+
+class TestLatentCategoricalService:
+    def _service(self, noise=None):
+        spec = FeatureSpec("topics", FeatureKind.CATEGORICAL, service_set="C")
+        return LatentCategoricalService(
+            spec,
+            extractor=lambda latent: latent.topics,
+            universe=60,
+            prefix="t",
+            noise=noise,
+        )
+
+    def test_requires_categorical_spec(self):
+        with pytest.raises(ResourceError):
+            LatentCategoricalService(
+                FeatureSpec("x", FeatureKind.NUMERIC),
+                extractor=lambda latent: (),
+                universe=5,
+                prefix="x",
+            )
+
+    def test_noise_free_output(self, tiny_splits):
+        point = tiny_splits.text_labeled[0]
+        service = self._service()
+        value = service.apply(point, spawn(0, "svc"))
+        assert value == frozenset(f"t{t}" for t in point.latent.topics)
+
+    def test_availability_yields_missing(self, tiny_splits):
+        point = tiny_splits.text_labeled[0]
+        service = self._service(
+            noise={Modality.TEXT: ChannelNoise(availability=0.0)}
+        )
+        assert service.apply(point, spawn(0, "svc")) is None
+
+    def test_video_union_of_frames(self, video_corpus):
+        point = video_corpus[0]
+        service = self._service(
+            noise={Modality.VIDEO: ChannelNoise(drop=0.5)}
+        )
+        value = service.apply(point, spawn(0, "svc"))
+        truth = frozenset(f"t{t}" for t in point.latent.topics)
+        assert value <= truth  # union of dropped observations, no spurious
+
+    def test_unsupported_modality_raises(self, tiny_splits):
+        spec = FeatureSpec(
+            "img_only",
+            FeatureKind.CATEGORICAL,
+            modalities=frozenset({Modality.IMAGE}),
+        )
+        service = LatentCategoricalService(
+            spec, extractor=lambda latent: latent.topics, universe=60, prefix="t"
+        )
+        text_point = tiny_splits.text_labeled[0]
+        with pytest.raises(ModalityError):
+            service.apply(text_point, spawn(0, "svc"))
+
+
+class TestStandardSuite:
+    def test_suite_composition(self, tiny_catalog):
+        sets = {}
+        for resource in tiny_catalog:
+            sets.setdefault(resource.spec.service_set, []).append(resource.name)
+        # the paper's counts: A=3, B=2, C=5, D=5 (+3 image, +1 meta)
+        assert len(sets["A"]) == 3
+        assert len(sets["B"]) == 2
+        assert len(sets["C"]) == 5
+        assert len(sets["D"]) == 5
+        assert len(sets["IMG"]) == 3
+
+    def test_exactly_two_nonservable(self, tiny_catalog):
+        nonservable = [
+            r.name
+            for r in tiny_catalog
+            if not r.spec.servable and r.spec.service_set in "ABCD"
+        ]
+        assert len(nonservable) == 2
+
+    def test_image_features_visual_only(self, tiny_catalog):
+        for resource in tiny_catalog.select(service_sets=("IMG",)):
+            assert not resource.supports(Modality.TEXT)
+            assert resource.supports(Modality.IMAGE)
+
+    def test_all_resources_apply_to_image(self, tiny_catalog, tiny_splits, rng):
+        point = tiny_splits.image_unlabeled[0]
+        for resource in tiny_catalog:
+            if resource.supports(Modality.IMAGE):
+                value = resource.apply(point, spawn(1, resource.name))
+                # None (missing) is allowed; otherwise spec-conforming
+                if value is not None:
+                    kind = resource.spec.kind
+                    if kind is FeatureKind.CATEGORICAL:
+                        assert isinstance(value, frozenset)
+                    elif kind is FeatureKind.NUMERIC:
+                        assert isinstance(value, float)
+                    else:
+                        assert isinstance(value, np.ndarray)
+
+    def test_embeddings_differ_between_services(self, tiny_catalog, tiny_splits):
+        point = tiny_splits.image_unlabeled[0]
+        org = tiny_catalog.get("org_embedding").apply(point, spawn(0, "a"))
+        generic = tiny_catalog.get("generic_embedding").apply(point, spawn(0, "b"))
+        assert not np.allclose(org, generic)

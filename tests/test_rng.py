@@ -1,0 +1,49 @@
+"""Tests for repro.core.rng — seeded randomness helpers."""
+
+import numpy as np
+
+from repro.core.rng import derive_seed, make_rng, spawn
+
+
+def test_make_rng_from_int_is_deterministic():
+    a = make_rng(42).random(5)
+    b = make_rng(42).random(5)
+    assert np.allclose(a, b)
+
+
+def test_make_rng_passthrough_generator():
+    gen = np.random.default_rng(1)
+    assert make_rng(gen) is gen
+
+
+def test_make_rng_none_gives_generator():
+    assert isinstance(make_rng(None), np.random.Generator)
+
+
+def test_derive_seed_depends_on_tag():
+    assert derive_seed(1, "a") != derive_seed(1, "b")
+
+
+def test_derive_seed_depends_on_seed():
+    assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+def test_derive_seed_stable():
+    assert derive_seed(123, "featurize") == derive_seed(123, "featurize")
+
+
+def test_derive_seed_in_range():
+    for seed in (0, 1, 2**40):
+        for tag in ("x", "y", "a-long-tag"):
+            value = derive_seed(seed, tag)
+            assert 0 <= value < 2**63
+
+
+def test_spawn_streams_are_independent():
+    a = spawn(5, "alpha").random(4)
+    b = spawn(5, "beta").random(4)
+    assert not np.allclose(a, b)
+
+
+def test_spawn_is_reproducible():
+    assert np.allclose(spawn(5, "alpha").random(4), spawn(5, "alpha").random(4))

@@ -1,0 +1,116 @@
+"""Tests for repro.features.schema."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import SchemaError
+from repro.datagen.entities import Modality
+from repro.features.schema import FeatureKind, FeatureSchema, FeatureSpec
+
+
+def _schema() -> FeatureSchema:
+    return FeatureSchema(
+        [
+            FeatureSpec("topics", FeatureKind.CATEGORICAL, service_set="C"),
+            FeatureSpec("risk", FeatureKind.NUMERIC, servable=False, service_set="C"),
+            FeatureSpec("url", FeatureKind.CATEGORICAL, service_set="A"),
+            FeatureSpec(
+                "emb",
+                FeatureKind.EMBEDDING,
+                service_set="IMG",
+                modalities=frozenset({Modality.IMAGE}),
+            ),
+        ]
+    )
+
+
+def test_duplicate_name_rejected():
+    schema = _schema()
+    with pytest.raises(SchemaError):
+        schema.add(FeatureSpec("topics", FeatureKind.NUMERIC))
+
+
+def test_lookup_and_contains():
+    schema = _schema()
+    assert "topics" in schema
+    assert schema["risk"].servable is False
+    with pytest.raises(SchemaError):
+        schema["nope"]
+
+
+def test_by_kind():
+    schema = _schema()
+    assert [s.name for s in schema.by_kind(FeatureKind.CATEGORICAL)] == ["topics", "url"]
+
+
+def test_subset_preserves_order():
+    schema = _schema()
+    sub = schema.subset(["url", "topics"])
+    assert sub.names == ["topics", "url"]
+
+
+def test_subset_unknown_raises():
+    with pytest.raises(SchemaError):
+        _schema().subset(["missing"])
+
+
+def test_select_by_service_set():
+    schema = _schema()
+    assert schema.select(service_sets=("A",)).names == ["url"]
+    assert schema.select(service_sets=("A", "C")).names == ["topics", "risk", "url"]
+
+
+def test_select_servable_only():
+    names = _schema().select(servable_only=True).names
+    assert "risk" not in names
+
+
+def test_select_by_modality():
+    text_names = _schema().select(modality=Modality.TEXT).names
+    assert "emb" not in text_names
+    image_names = _schema().select(modality=Modality.IMAGE).names
+    assert "emb" in image_names
+
+
+def test_union_merges_and_checks_conflicts():
+    a = _schema()
+    b = FeatureSchema([FeatureSpec("new", FeatureKind.NUMERIC)])
+    merged = a.union(b)
+    assert "new" in merged
+    conflicting = FeatureSchema([FeatureSpec("topics", FeatureKind.NUMERIC)])
+    with pytest.raises(SchemaError):
+        a.union(conflicting)
+
+
+def test_union_idempotent():
+    a = _schema()
+    assert a.union(a).names == a.names
+
+
+def test_service_sets_listing():
+    assert _schema().service_sets() == ["A", "C", "IMG"]
+
+
+def test_validate_value_categorical():
+    schema = _schema()
+    schema.validate_value("topics", frozenset({"t1"}))
+    schema.validate_value("topics", None)
+    with pytest.raises(SchemaError):
+        schema.validate_value("topics", {"t1"})  # plain set not allowed
+    with pytest.raises(SchemaError):
+        schema.validate_value("topics", "t1")
+
+
+def test_validate_value_numeric_and_embedding():
+    schema = _schema()
+    schema.validate_value("risk", 0.5)
+    with pytest.raises(SchemaError):
+        schema.validate_value("risk", "high")
+    schema.validate_value("emb", np.zeros(3))
+    with pytest.raises(SchemaError):
+        schema.validate_value("emb", np.zeros((2, 2)))
+
+
+def test_available_for_defaults_to_all():
+    spec = FeatureSpec("x", FeatureKind.NUMERIC)
+    assert all(spec.available_for(m) for m in Modality)

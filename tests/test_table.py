@@ -1,0 +1,162 @@
+"""Tests for repro.features.table — the columnar feature table."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import SchemaError
+from repro.datagen.entities import Modality
+from repro.features.schema import FeatureKind, FeatureSchema, FeatureSpec
+from repro.features.table import MISSING, FeatureTable
+
+
+def _small_table(labels=True) -> FeatureTable:
+    schema = FeatureSchema(
+        [
+            FeatureSpec("cats", FeatureKind.CATEGORICAL),
+            FeatureSpec("num", FeatureKind.NUMERIC),
+        ]
+    )
+    return FeatureTable(
+        schema=schema,
+        columns={
+            "cats": [frozenset({"a"}), frozenset({"a", "b"}), MISSING],
+            "num": [1.0, MISSING, 3.0],
+        },
+        point_ids=[10, 11, 12],
+        modalities=[Modality.TEXT, Modality.TEXT, Modality.IMAGE],
+        labels=np.array([0, 1, 0]) if labels else None,
+    )
+
+
+def test_row_access():
+    table = _small_table()
+    assert table.row(0) == {"cats": frozenset({"a"}), "num": 1.0}
+    assert table.value(2, "cats") is MISSING
+
+
+def test_column_length_validation():
+    schema = FeatureSchema([FeatureSpec("x", FeatureKind.NUMERIC)])
+    with pytest.raises(SchemaError):
+        FeatureTable(schema, {"x": [1.0]}, point_ids=[1, 2], modalities=[Modality.TEXT] * 2)
+
+
+def test_missing_column_rejected():
+    schema = FeatureSchema([FeatureSpec("x", FeatureKind.NUMERIC)])
+    with pytest.raises(SchemaError):
+        FeatureTable(schema, {}, point_ids=[], modalities=[])
+
+
+def test_extra_column_rejected():
+    schema = FeatureSchema([FeatureSpec("x", FeatureKind.NUMERIC)])
+    with pytest.raises(SchemaError):
+        FeatureTable(
+            schema, {"x": [1.0], "y": [2.0]}, point_ids=[1], modalities=[Modality.TEXT]
+        )
+
+
+def test_label_alignment_checked():
+    schema = FeatureSchema([FeatureSpec("x", FeatureKind.NUMERIC)])
+    with pytest.raises(SchemaError):
+        FeatureTable(
+            schema,
+            {"x": [1.0]},
+            point_ids=[1],
+            modalities=[Modality.TEXT],
+            labels=np.array([0, 1]),
+        )
+
+
+def test_select_features():
+    table = _small_table()
+    sub = table.select_features(["num"])
+    assert sub.feature_names == ["num"]
+    assert sub.n_rows == 3
+    assert sub.labels is not None
+
+
+def test_select_rows_reorders():
+    table = _small_table()
+    sub = table.select_rows([2, 0])
+    assert list(sub.point_ids) == [12, 10]
+    assert sub.labels.tolist() == [0, 0]
+    assert sub.modalities == [Modality.IMAGE, Modality.TEXT]
+
+
+def test_with_labels_attach_detach():
+    table = _small_table(labels=False)
+    assert table.labels is None
+    labeled = table.with_labels(np.array([1, 0, 1]))
+    assert labeled.labels.tolist() == [1, 0, 1]
+    assert labeled.with_labels(None).labels is None
+
+
+def test_with_feature_appends_column():
+    table = _small_table()
+    spec = FeatureSpec("extra", FeatureKind.NUMERIC, servable=False)
+    augmented = table.with_feature(spec, [0.1, 0.2, 0.3])
+    assert "extra" in augmented.schema
+    assert augmented.value(1, "extra") == 0.2
+    # original untouched
+    assert "extra" not in table.schema
+
+
+def test_with_feature_length_checked():
+    table = _small_table()
+    spec = FeatureSpec("extra", FeatureKind.NUMERIC)
+    with pytest.raises(SchemaError):
+        table.with_feature(spec, [0.1])
+
+
+def test_concat_fills_missing():
+    table = _small_table()
+    other_schema = FeatureSchema(
+        [
+            FeatureSpec("cats", FeatureKind.CATEGORICAL),
+            FeatureSpec("other", FeatureKind.NUMERIC),
+        ]
+    )
+    other = FeatureTable(
+        schema=other_schema,
+        columns={"cats": [frozenset({"z"})], "other": [9.0]},
+        point_ids=[20],
+        modalities=[Modality.IMAGE],
+        labels=np.array([1]),
+    )
+    merged = table.concat(other)
+    assert merged.n_rows == 4
+    assert set(merged.feature_names) == {"cats", "num", "other"}
+    # filling: "other" missing for original rows, "num" missing for new
+    assert merged.value(0, "other") is MISSING
+    assert merged.value(3, "num") is MISSING
+    assert merged.labels.tolist() == [0, 1, 0, 1]
+
+
+def test_concat_drops_labels_if_one_side_unlabeled():
+    a = _small_table()
+    b = _small_table(labels=False)
+    assert a.concat(b).labels is None
+
+
+def test_numeric_matrix_has_nan_for_missing():
+    table = _small_table()
+    matrix = table.numeric_matrix()
+    assert matrix.shape == (3, 1)
+    assert np.isnan(matrix[1, 0])
+    assert matrix[0, 0] == 1.0
+
+
+def test_numeric_matrix_rejects_categorical():
+    table = _small_table()
+    with pytest.raises(SchemaError):
+        table.numeric_matrix(["cats"])
+
+
+def test_presence_fraction():
+    table = _small_table()
+    assert table.presence_fraction("cats") == pytest.approx(2 / 3)
+
+
+def test_summary_contains_vocab_size():
+    summary = _small_table().summary()
+    cats_row = next(r for r in summary if r["feature"] == "cats")
+    assert cats_row["vocab_size"] == 2

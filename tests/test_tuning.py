@@ -1,0 +1,92 @@
+"""Tests for repro.models.tuning — Vizier-like random search."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError, NotFittedError
+from repro.models.linear import LogisticRegression
+from repro.models.tuning import RandomSearchTuner
+
+
+def _data(seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(400, 4))
+    y = (X[:, 0] + 0.3 * rng.normal(size=400) > 0).astype(float)
+    return X[:300], y[:300], X[300:], y[300:]
+
+
+def test_finds_a_model():
+    X_train, y_train, X_val, y_val = _data()
+    tuner = RandomSearchTuner(
+        model_factory=lambda **p: LogisticRegression(seed=0, **p),
+        param_space={"l2": [1e-5, 1e-2, 10.0], "learning_rate": [0.1, 0.01]},
+        n_trials=6,
+        seed=0,
+    )
+    tuner.fit(X_train, y_train, X_val, y_val)
+    assert tuner.best_params_ is not None
+    assert tuner.best_score_ > 0.8
+    assert len(tuner.predict_proba(X_val)) == len(y_val)
+
+
+def test_best_is_max_of_trials():
+    X_train, y_train, X_val, y_val = _data()
+    tuner = RandomSearchTuner(
+        model_factory=lambda **p: LogisticRegression(seed=0, **p),
+        param_space={"l2": [1e-5, 50.0]},
+        n_trials=8,
+        seed=1,
+    )
+    tuner.fit(X_train, y_train, X_val, y_val)
+    assert tuner.best_score_ == pytest.approx(max(t.score for t in tuner.trials_))
+
+
+def test_duplicate_configs_skipped():
+    X_train, y_train, X_val, y_val = _data()
+    tuner = RandomSearchTuner(
+        model_factory=lambda **p: LogisticRegression(seed=0, **p),
+        param_space={"l2": [1e-4]},
+        n_trials=10,
+        seed=0,
+    )
+    tuner.fit(X_train, y_train, X_val, y_val)
+    assert len(tuner.trials_) == 1
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        RandomSearchTuner(
+            model_factory=lambda **p: LogisticRegression(**p),
+            param_space={},
+        ).fit(*_data())
+    with pytest.raises(ConfigurationError):
+        RandomSearchTuner(
+            model_factory=lambda **p: LogisticRegression(**p),
+            param_space={"l2": [1.0]},
+            n_trials=0,
+        ).fit(*_data())
+
+
+def test_predict_before_fit():
+    tuner = RandomSearchTuner(
+        model_factory=lambda **p: LogisticRegression(**p),
+        param_space={"l2": [1.0]},
+    )
+    with pytest.raises(NotFittedError):
+        tuner.predict_proba(np.zeros((1, 4)))
+
+
+def test_deterministic_given_seed():
+    X_train, y_train, X_val, y_val = _data()
+
+    def run():
+        tuner = RandomSearchTuner(
+            model_factory=lambda **p: LogisticRegression(seed=0, **p),
+            param_space={"l2": [1e-5, 1e-3, 1e-1], "learning_rate": [0.1, 0.05]},
+            n_trials=4,
+            seed=3,
+        )
+        tuner.fit(X_train, y_train, X_val, y_val)
+        return tuner.best_params_
+
+    assert run() == run()

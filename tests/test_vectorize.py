@@ -1,0 +1,160 @@
+"""Tests for repro.features.vectorize — table -> matrix transformation."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import NotFittedError, SchemaError
+from repro.datagen.entities import Modality
+from repro.features.schema import FeatureKind, FeatureSchema, FeatureSpec
+from repro.features.table import MISSING, FeatureTable
+from repro.features.vectorize import Vectorizer
+
+
+def _table() -> FeatureTable:
+    schema = FeatureSchema(
+        [
+            FeatureSpec("cats", FeatureKind.CATEGORICAL),
+            FeatureSpec("num", FeatureKind.NUMERIC),
+            FeatureSpec("emb", FeatureKind.EMBEDDING),
+        ]
+    )
+    return FeatureTable(
+        schema=schema,
+        columns={
+            "cats": [frozenset({"a", "b"}), frozenset({"b"}), frozenset({"a"}), MISSING],
+            "num": [1.0, 2.0, 3.0, MISSING],
+            "emb": [np.array([1.0, 0.0]), np.array([0.0, 1.0]), np.array([1.0, 1.0]), MISSING],
+        },
+        point_ids=[0, 1, 2, 3],
+        modalities=[Modality.TEXT] * 4,
+    )
+
+
+def test_transform_before_fit_raises():
+    with pytest.raises(NotFittedError):
+        Vectorizer(_table().schema).transform(_table())
+
+
+def test_output_shape_and_slices():
+    table = _table()
+    vec = Vectorizer(table.schema, min_count=1).fit(table)
+    X = vec.transform(table)
+    assert X.shape == (4, vec.n_columns)
+    # cats: 2 vocab + presence; num: 1 + presence; emb: 2 + presence
+    assert vec.n_columns == 3 + 2 + 3
+    assert [s.name for s in vec.slices] == ["cats", "num", "emb"]
+
+
+def test_multi_hot_encoding():
+    table = _table()
+    vec = Vectorizer(table.schema, min_count=1).fit(table)
+    X = vec.transform(table)
+    sl = vec.slice_for("cats")
+    vocab = vec.vocabulary("cats")
+    row0 = X[0, sl.start:sl.stop - 1]
+    assert row0[vocab["a"]] == 1.0
+    assert row0[vocab["b"]] == 1.0
+    row1 = X[1, sl.start:sl.stop - 1]
+    assert row1[vocab["a"]] == 0.0
+
+
+def test_presence_bits():
+    table = _table()
+    vec = Vectorizer(table.schema, min_count=1).fit(table)
+    X = vec.transform(table)
+    for name in ("cats", "num", "emb"):
+        sl = vec.slice_for(name)
+        assert X[0, sl.stop - 1] == 1.0  # present row
+        assert X[3, sl.stop - 1] == 0.0  # missing row
+        assert np.all(X[3, sl.start:sl.stop] == 0.0)
+
+
+def test_numeric_standardization():
+    table = _table()
+    vec = Vectorizer(table.schema, min_count=1).fit(table)
+    X = vec.transform(table)
+    sl = vec.slice_for("num")
+    values = X[:3, sl.start]
+    assert values.mean() == pytest.approx(0.0, abs=1e-6)
+
+
+def test_min_count_prunes_rare_tokens():
+    table = _table()
+    vec = Vectorizer(table.schema, min_count=2).fit(table)
+    vocab = vec.vocabulary("cats")
+    assert set(vocab) == {"a", "b"}  # both appear twice
+    vec_strict = Vectorizer(table.schema, min_count=3).fit(table)
+    assert vec_strict.vocabulary("cats") == {}
+
+
+def test_max_vocab_caps():
+    table = _table()
+    vec = Vectorizer(table.schema, max_vocab=1, min_count=1).fit(table)
+    assert len(vec.vocabulary("cats")) == 1
+
+
+def test_transform_table_missing_feature_is_zeros():
+    """A table lacking a feature entirely transforms to a zero block —
+    this is how text rows flow through an image-fitted vectorizer."""
+    table = _table()
+    vec = Vectorizer(table.schema, min_count=1).fit(table)
+    partial = table.select_features(["num"])
+    X = vec.transform(partial)
+    sl = vec.slice_for("cats")
+    assert np.all(X[:, sl.start:sl.stop] == 0.0)
+    sl_num = vec.slice_for("num")
+    assert X[0, sl_num.start] != 0.0 or X[1, sl_num.start] != 0.0
+
+
+def test_unknown_tokens_ignored_at_transform():
+    table = _table()
+    vec = Vectorizer(table.schema, min_count=1).fit(table)
+    schema = table.schema
+    new_table = FeatureTable(
+        schema=schema,
+        columns={
+            "cats": [frozenset({"zzz"})],
+            "num": [1.0],
+            "emb": [np.zeros(2)],
+        },
+        point_ids=[9],
+        modalities=[Modality.TEXT],
+    )
+    X = vec.transform(new_table)
+    sl = vec.slice_for("cats")
+    assert np.all(X[0, sl.start:sl.stop - 1] == 0.0)
+    assert X[0, sl.stop - 1] == 1.0  # still present
+
+
+def test_embedding_dim_mismatch_raises():
+    table = _table()
+    vec = Vectorizer(table.schema, min_count=1).fit(table)
+    bad = FeatureTable(
+        schema=table.schema,
+        columns={
+            "cats": [frozenset()],
+            "num": [0.0],
+            "emb": [np.zeros(5)],
+        },
+        point_ids=[1],
+        modalities=[Modality.TEXT],
+    )
+    with pytest.raises(SchemaError):
+        vec.transform(bad)
+
+
+def test_column_names_cover_all_columns():
+    table = _table()
+    vec = Vectorizer(table.schema, min_count=1).fit(table)
+    names = vec.column_names()
+    assert len(names) == vec.n_columns
+    assert all(names)
+    assert "cats=a" in names
+    assert "num#present" in names
+
+
+def test_fit_requires_schema_features_present():
+    table = _table()
+    bigger = FeatureSchema(list(table.schema) + [FeatureSpec("ghost", FeatureKind.NUMERIC)])
+    with pytest.raises(SchemaError):
+        Vectorizer(bigger).fit(table)

@@ -1,0 +1,143 @@
+"""Tests for repro.datagen.world — the synthetic organizational world."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.rng import spawn
+from repro.datagen.entities import ImagePayload, Modality, TextPayload, VideoPayload
+from repro.datagen.tasks import build_definition, classification_task
+from repro.datagen.world import TaskDefinition, World, WorldConfig
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World(seed=3)
+
+
+@pytest.fixture(scope="module")
+def task(world):
+    definition = build_definition(classification_task("CT1"), seed=3, world=world)
+    return world.calibrate(definition, n_calibration=6000)
+
+
+def test_world_config_validation():
+    with pytest.raises(ConfigurationError):
+        WorldConfig(n_topics=0)
+
+
+def test_task_definition_validates_rate():
+    with pytest.raises(ConfigurationError):
+        TaskDefinition(
+            name="bad",
+            positive_topics=frozenset({1}),
+            positive_objects=frozenset(),
+            positive_keywords=frozenset(),
+            positive_entities=frozenset(),
+            positive_url_categories=frozenset(),
+            positive_page_categories=frozenset(),
+            target_positive_rate=0.8,
+        )
+
+
+def test_world_is_deterministic_given_seed():
+    a = World(seed=11)
+    b = World(seed=11)
+    assert np.allclose(a.topic_vectors, b.topic_vectors)
+    assert np.allclose(a.users.toxicity, b.users.toxicity)
+
+
+def test_different_seeds_differ():
+    a = World(seed=11)
+    b = World(seed=12)
+    assert not np.allclose(a.topic_vectors, b.topic_vectors)
+
+
+def test_popularity_sums_to_one(world):
+    for family in ("topics", "objects", "keywords", "entities", "url", "page"):
+        pop = world.popularity(family)
+        assert pop.min() > 0
+        assert pop.sum() == pytest.approx(1.0)
+
+
+def test_calibrated_positive_rate(world, task):
+    """Generated corpora should hit the target positive rate within
+    sampling tolerance."""
+    gen = spawn(3, "rate-check")
+    labels = [
+        world.generate_point(task, Modality.TEXT, i, gen).label for i in range(4000)
+    ]
+    rate = float(np.mean(labels))
+    target = task.definition.target_positive_rate
+    assert abs(rate - target) < 0.03
+
+
+def test_generate_point_modalities(world, task):
+    gen = spawn(3, "modality-check")
+    text = world.generate_point(task, Modality.TEXT, 0, gen)
+    image = world.generate_point(task, Modality.IMAGE, 1, gen)
+    video = world.generate_point(task, Modality.VIDEO, 2, gen)
+    assert isinstance(text.payload, TextPayload)
+    assert isinstance(image.payload, ImagePayload)
+    assert isinstance(video.payload, VideoPayload)
+    assert video.payload.n_frames >= 3
+
+
+def test_generation_is_reproducible(world, task):
+    a = world.generate_point(task, Modality.TEXT, 5, spawn(9, "t"))
+    b = world.generate_point(task, Modality.TEXT, 5, spawn(9, "t"))
+    assert a.label == b.label
+    assert a.payload.tokens == b.payload.tokens
+    assert np.allclose(a.latent.embedding, b.latent.embedding)
+
+
+def test_embedding_dimensions(world, task):
+    gen = spawn(3, "emb-check")
+    point = world.generate_point(task, Modality.IMAGE, 0, gen)
+    payload = point.payload
+    assert payload.org_embedding.shape == (world.config.image_embedding_dim,)
+    assert payload.generic_embedding.shape == (world.config.image_embedding_dim,)
+    assert point.latent.embedding.shape == (world.config.latent_dim,)
+
+
+def test_positive_points_carry_positive_attributes(world, task):
+    """Positives should show task-positive attribute values far more
+    often than negatives (the basis of LF mining)."""
+    gen = spawn(3, "attr-check")
+    pos_hits = neg_hits = pos_n = neg_n = 0
+    positive_sets = task.definition
+    for i in range(4000):
+        point = world.generate_point(task, Modality.TEXT, i, gen)
+        latent = point.latent
+        hits = (
+            len(set(latent.topics) & positive_sets.positive_topics)
+            + len(set(latent.keywords) & positive_sets.positive_keywords)
+            + len(set(latent.objects) & positive_sets.positive_objects)
+        )
+        if point.label:
+            pos_hits += hits
+            pos_n += 1
+        else:
+            neg_hits += hits
+            neg_n += 1
+    assert pos_n > 10
+    assert pos_hits / pos_n > 4 * (neg_hits / max(neg_n, 1))
+
+
+def test_embedding_carries_label_signal(world, task):
+    """Mean embedding of positives should be separated from negatives
+    along some direction (drives the paper's baseline)."""
+    gen = spawn(3, "emb-signal")
+    pos, neg = [], []
+    for i in range(3000):
+        point = world.generate_point(task, Modality.IMAGE, i, gen)
+        (pos if point.label else neg).append(point.payload.org_embedding)
+    gap = np.linalg.norm(np.mean(pos, axis=0) - np.mean(neg, axis=0))
+    spread = np.std(np.array(neg), axis=0).mean()
+    assert gap > spread  # clearly separated in at least aggregate
+
+
+def test_text_tokens_reference_topics(world, task):
+    gen = spawn(3, "token-check")
+    point = world.generate_point(task, Modality.TEXT, 0, gen)
+    assert any(t.startswith("tok") for t in point.payload.tokens)
