@@ -39,3 +39,45 @@ class GraphError(ReproError):
 
 class ResourceError(ReproError):
     """An organizational resource failed or was misconfigured."""
+
+
+class ServiceError(ResourceError):
+    """A (simulated) remote service call to a resource failed.
+
+    Subclasses split the space the resilience layer cares about:
+    :class:`TransientServiceError` calls are worth retrying,
+    :class:`ServiceUnavailableError` calls are not.
+    """
+
+
+class TransientServiceError(ServiceError):
+    """A retryable failure: the same call may succeed if repeated."""
+
+
+class ServiceTimeoutError(TransientServiceError):
+    """The simulated call latency exceeded the caller's budget."""
+
+
+class RateLimitError(TransientServiceError):
+    """The service shed load (quota/QPS exceeded); retry after backoff."""
+
+
+class ServiceUnavailableError(ServiceError):
+    """A non-retryable failure: the service is down for this call."""
+
+
+class CircuitOpenError(ServiceUnavailableError):
+    """A circuit breaker short-circuited the call without dialing out."""
+
+
+class RecordError(ReproError):
+    """A dataflow record could not be processed.
+
+    Carries the failing record and its input index so a poisoned record
+    in a large job can be located without re-running.
+    """
+
+    def __init__(self, message: str, record: object = None, index: int | None = None):
+        super().__init__(message)
+        self.record = record
+        self.index = index

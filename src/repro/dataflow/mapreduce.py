@@ -13,17 +13,28 @@ Semantics match the classic model:
 
 Determinism: values arrive at the reducer in (partition, input-order)
 order regardless of thread scheduling, so jobs are reproducible.
+
+Robustness: ``record_retries`` re-runs a failing mapper call on the
+same record (for mappers that call flaky services), and
+``skip_bad_records`` drops records that still fail instead of killing
+the job — the classic "skip bad records" escape hatch for poisoned
+inputs.  Failures surface as :class:`RecordError` carrying the record
+and its input index; ``failed_records`` / ``retried_records`` counters
+account for every skip and re-run.  Per-partition mapper-side counts
+(records mapped, combiner reductions) are aggregated into
+``job.counters`` on the coordinating thread, so threaded runs lose no
+accounting.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import Counter, defaultdict
 from collections.abc import Callable, Hashable, Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, TypeVar
 
-from repro.core.exceptions import ConfigurationError
+from repro.core.exceptions import ConfigurationError, RecordError
 
 __all__ = ["MapReduceJob", "run_mapreduce", "run_map"]
 
@@ -32,6 +43,35 @@ Key = Hashable
 Mapper = Callable[[Any], Iterable[tuple[Key, Any]]]
 Combiner = Callable[[Key, list[Any]], Iterable[Any]]
 Reducer = Callable[[Key, list[Any]], Any]
+
+
+def _call_with_retries(
+    fn: Callable[[Any], Any],
+    record: Any,
+    index: int,
+    retries: int,
+    skip_bad: bool,
+    counts: Counter,
+) -> tuple[bool, Any]:
+    """(ok, result) for one record; raises :class:`RecordError` when the
+    record exhausts its retries and skipping is off."""
+    last_exc: Exception | None = None
+    for attempt in range(1 + retries):
+        try:
+            return True, fn(record)
+        except Exception as exc:  # noqa: BLE001 - mapper may raise anything
+            last_exc = exc
+            if attempt < retries:
+                counts["retried_records"] += 1
+    counts["failed_records"] += 1
+    if skip_bad:
+        return False, None
+    raise RecordError(
+        f"record {index} failed after {1 + retries} attempt(s): "
+        f"{type(last_exc).__name__}: {last_exc} (record={record!r:.200})",
+        record=record,
+        index=index,
+    ) from last_exc
 
 
 @dataclass
@@ -43,6 +83,8 @@ class MapReduceJob:
     combiner: Combiner | None = None
     n_partitions: int = 8
     n_threads: int = 1
+    record_retries: int = 0
+    skip_bad_records: bool = False
     counters: dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -50,25 +92,49 @@ class MapReduceJob:
             raise ConfigurationError("n_partitions must be >= 1")
         if self.n_threads < 1:
             raise ConfigurationError("n_threads must be >= 1")
+        if self.record_retries < 0:
+            raise ConfigurationError("record_retries must be >= 0")
 
-    def _partitions(self, records: Sequence[Any]) -> list[list[Any]]:
+    def _partitions(self, records: Sequence[Any]) -> list[list[tuple[int, Any]]]:
         n = min(self.n_partitions, max(len(records), 1))
-        parts: list[list[Any]] = [[] for _ in range(n)]
+        parts: list[list[tuple[int, Any]]] = [[] for _ in range(n)]
         for i, record in enumerate(records):
-            parts[i % n].append(record)
+            parts[i % n].append((i, record))
         return parts
 
-    def _map_partition(self, partition: list[Any]) -> dict[Key, list[Any]]:
+    def _map_partition(
+        self, partition: list[tuple[int, Any]]
+    ) -> tuple[dict[Key, list[Any]], Counter]:
+        """Map one partition; returns (grouped output, local counters).
+
+        Local counters are merged by the coordinator after all
+        partitions finish, so no counts are lost to thread races.
+        """
+        counts: Counter = Counter()
         grouped: dict[Key, list[Any]] = defaultdict(list)
-        for record in partition:
-            for key, value in self.mapper(record):
+        for index, record in partition:
+            ok, pairs = _call_with_retries(
+                lambda r: list(self.mapper(r)),
+                record,
+                index,
+                self.record_retries,
+                self.skip_bad_records,
+                counts,
+            )
+            if not ok:
+                continue
+            counts["records_mapped"] += 1
+            for key, value in pairs:
                 grouped[key].append(value)
+                counts["map_output_values"] += 1
         if self.combiner is not None:
-            grouped = {
-                key: list(self.combiner(key, values))
-                for key, values in grouped.items()
-            }
-        return grouped
+            combined: dict[Key, list[Any]] = {}
+            for key, values in grouped.items():
+                counts["combiner_values_in"] += len(values)
+                combined[key] = list(self.combiner(key, values))
+                counts["combiner_values_out"] += len(combined[key])
+            grouped = combined
+        return grouped, counts
 
     def run(self, records: Sequence[Any]) -> dict[Key, Any]:
         """Execute the job; returns {key: reducer output} in key order."""
@@ -76,10 +142,26 @@ class MapReduceJob:
         self.counters["input_records"] = len(records)
 
         if self.n_threads == 1 or len(partitions) == 1:
-            mapped = [self._map_partition(p) for p in partitions]
+            results = [self._map_partition(p) for p in partitions]
         else:
             with ThreadPoolExecutor(max_workers=self.n_threads) as pool:
-                mapped = list(pool.map(self._map_partition, partitions))
+                results = list(pool.map(self._map_partition, partitions))
+        mapped = [grouped for grouped, _ in results]
+
+        # aggregate per-partition counters on the coordinating thread
+        totals: Counter = Counter()
+        for _, counts in results:
+            totals.update(counts)
+        for name in (
+            "records_mapped",
+            "map_output_values",
+            "failed_records",
+            "retried_records",
+        ):
+            self.counters[name] = totals.get(name, 0)
+        if self.combiner is not None:
+            self.counters["combiner_values_in"] = totals.get("combiner_values_in", 0)
+            self.counters["combiner_values_out"] = totals.get("combiner_values_out", 0)
 
         shuffled: dict[Key, list[Any]] = defaultdict(list)
         for part in mapped:
@@ -101,6 +183,8 @@ def run_mapreduce(
     combiner: Combiner | None = None,
     n_partitions: int = 8,
     n_threads: int = 1,
+    record_retries: int = 0,
+    skip_bad_records: bool = False,
 ) -> dict[Key, Any]:
     """One-shot convenience wrapper around :class:`MapReduceJob`."""
     job = MapReduceJob(
@@ -109,6 +193,8 @@ def run_mapreduce(
         combiner=combiner,
         n_partitions=n_partitions,
         n_threads=n_threads,
+        record_retries=record_retries,
+        skip_bad_records=skip_bad_records,
     )
     return job.run(records)
 
@@ -117,10 +203,42 @@ def run_map(
     records: Sequence[Any],
     fn: Callable[[Any], Any],
     n_threads: int = 1,
+    record_retries: int = 0,
+    skip_bad_records: bool = False,
+    error_value: Any = None,
+    counters: dict[str, int] | None = None,
 ) -> list[Any]:
     """Map-only job preserving input order (a common degenerate case:
-    per-record featurization with no aggregation)."""
+    per-record featurization with no aggregation).
+
+    A record whose ``fn`` raises is retried ``record_retries`` times;
+    if it still fails, the job raises :class:`RecordError` with the
+    record and its index — unless ``skip_bad_records`` is set, in which
+    case the output slot holds ``error_value`` so alignment with the
+    input is preserved.  Pass a dict as ``counters`` to receive
+    ``records_mapped`` / ``failed_records`` / ``retried_records``.
+    """
+    def _one(indexed: tuple[int, Any]) -> tuple[Any, Counter]:
+        index, record = indexed
+        local: Counter = Counter()
+        ok, value = _call_with_retries(
+            fn, record, index, record_retries, skip_bad_records, local
+        )
+        if not ok:
+            return error_value, local
+        local["records_mapped"] += 1
+        return value, local
+
+    indexed = list(enumerate(records))
     if n_threads == 1 or len(records) < 2:
-        return [fn(r) for r in records]
-    with ThreadPoolExecutor(max_workers=n_threads) as pool:
-        return list(pool.map(fn, records))
+        results = [_one(pair) for pair in indexed]
+    else:
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            results = list(pool.map(_one, indexed))
+    if counters is not None:
+        totals: Counter = Counter()
+        for _, local in results:
+            totals.update(local)
+        for name in ("records_mapped", "failed_records", "retried_records"):
+            counters[name] = totals.get(name, 0)
+    return [value for value, _ in results]

@@ -11,6 +11,7 @@ Regenerate any of the paper's tables/figures from the shell:
     python -m repro.experiments fusion
     python -m repro.experiments lf
     python -m repro.experiments ablations
+    python -m repro.experiments chaos
     python -m repro.experiments all
 """
 
@@ -21,6 +22,7 @@ import sys
 import time
 
 from repro.experiments.ablations import render_ablations, run_all_ablations
+from repro.experiments.chaos import run_chaos
 from repro.experiments.end_to_end import run_figure5, run_table2
 from repro.experiments.factor_analysis import run_figure6
 from repro.experiments.fusion_ablation import run_fusion_ablation
@@ -31,7 +33,7 @@ from repro.experiments.table1 import run_table1
 
 _EXPERIMENTS = (
     "table1", "table2", "table3", "figure5", "figure6", "figure7",
-    "fusion", "lf", "ablations",
+    "fusion", "lf", "ablations", "chaos",
 )
 
 
@@ -64,6 +66,9 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
         return run_lf_comparison(scale=scale, seed=seed).render()
     if name == "ablations":
         return render_ablations(run_all_ablations(scale=scale, seed=seed))
+    if name == "chaos":
+        return run_chaos(scale=scale, seed=seed,
+                         n_model_seeds=args.model_seeds).render()
     raise ValueError(f"unknown experiment {name!r}")
 
 

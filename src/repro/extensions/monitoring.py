@@ -70,15 +70,31 @@ class ReviewQueue:
 
 @dataclass
 class ModelComparison:
-    """Outcome of a sampled A/B model comparison."""
+    """Outcome of a sampled A/B model comparison.
+
+    ``degenerate`` marks a review sample whose labels were all one
+    class: AUPRC is undefined there, so ``auprc_a``/``auprc_b`` hold
+    mean model scores instead (a tie-break signal, *not* a quality
+    metric) and the comparison should be re-run with a larger or
+    re-balanced sample before acting on it.
+    """
 
     auprc_a: float
     auprc_b: float
     n_reviewed: int
     n_disagreements: int
     winner: str
+    degenerate: bool = False
 
     def render(self) -> str:
+        if self.degenerate:
+            return (
+                f"DEGENERATE comparison (single-class review sample): "
+                f"model A mean score {self.auprc_a:.3f} vs model B "
+                f"{self.auprc_b:.3f} on {self.n_reviewed} reviewed items "
+                f"({self.n_disagreements} sampled from disagreements) "
+                f"-> {self.winner} (score-mean tie-break, not AUPRC)"
+            )
         return (
             f"model A AUPRC {self.auprc_a:.3f} vs model B {self.auprc_b:.3f} "
             f"on {self.n_reviewed} reviewed items "
@@ -118,8 +134,11 @@ def compare_models(
     reviewed = np.concatenate([by_disagreement, random_sample])
 
     labels = queue.review(reviewed)
-    if labels.sum() == 0 or labels.sum() == len(labels):
-        # degenerate review sample; fall back to score-mean comparison
+    degenerate = labels.sum() == 0 or labels.sum() == len(labels)
+    if degenerate:
+        # single-class review sample: AUPRC is undefined, so report
+        # mean scores and flag the comparison instead of mislabeling
+        # the metric
         auprc_a = float(scores_a[reviewed].mean())
         auprc_b = float(scores_b[reviewed].mean())
     else:
@@ -132,4 +151,5 @@ def compare_models(
         n_reviewed=len(reviewed),
         n_disagreements=len(by_disagreement),
         winner=winner,
+        degenerate=degenerate,
     )

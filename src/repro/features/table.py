@@ -37,6 +37,7 @@ class FeatureTable:
         point_ids: Sequence[int],
         modalities: Sequence[Modality],
         labels: np.ndarray | None = None,
+        degradation: object = None,
     ) -> None:
         self.schema = schema
         n_rows = len(point_ids)
@@ -58,6 +59,11 @@ class FeatureTable:
         self.point_ids = np.asarray(point_ids, dtype=np.int64)
         self.modalities = list(modalities)
         self.labels = None if labels is None else np.asarray(labels, dtype=np.int64)
+        #: optional :class:`repro.resilience.policy.DegradationReport`
+        #: describing how a resilient featurization run degraded; not
+        #: propagated through derived tables (select/concat), which
+        #: describe a different row/column universe.
+        self.degradation = degradation
 
     # ------------------------------------------------------------------
     # basic accessors

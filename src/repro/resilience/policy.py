@@ -1,0 +1,346 @@
+"""Composable resilience policy and per-service health accounting.
+
+:class:`ResiliencePolicy` is the single entry point the featurization
+layer talks to: it wraps one (resource, point) call with retry +
+exponential backoff (deterministic jitter), an optional per-service
+circuit breaker, and a fallback chain, while recording per-service
+:class:`ServiceHealth` stats and emitting a :class:`DegradationEvent`
+for every call that needed more than one clean dial.
+
+Determinism: backoff jitter draws from a stream derived per
+(service, point), and fault schedules live in the wrapped
+:class:`~repro.resilience.faults.ServiceClient`, so a retry+fallback
+policy produces bit-identical results for any thread count.  The
+circuit breaker is the one knowingly order-dependent component (its
+state is shared across points) and is therefore off by default.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.exceptions import ServiceUnavailableError, TransientServiceError
+from repro.core.rng import spawn
+from repro.datagen.entities import DataPoint
+from repro.features.table import MISSING
+from repro.resilience.circuit import CircuitBreaker, CircuitConfig
+from repro.resilience.fallback import FallbackChain
+from repro.resilience.retry import RetryConfig, backoff_delay
+from repro.resources.base import OrganizationalResource
+
+__all__ = [
+    "ServiceHealth",
+    "HealthReport",
+    "DegradationEvent",
+    "DegradationReport",
+    "ResiliencePolicy",
+]
+
+
+@dataclass
+class ServiceHealth:
+    """Counters for one service under a policy."""
+
+    service: str
+    attempts: int = 0
+    successes: int = 0
+    failures: int = 0
+    retries: int = 0
+    trips: int = 0
+    short_circuits: int = 0
+    fallbacks: int = 0
+    simulated_delay: float = 0.0
+
+    @property
+    def failure_rate(self) -> float:
+        return self.failures / self.attempts if self.attempts else 0.0
+
+
+@dataclass
+class HealthReport:
+    """Snapshot of every service's health under one policy."""
+
+    services: dict[str, ServiceHealth]
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(h.attempts for h in self.services.values())
+
+    @property
+    def total_retries(self) -> int:
+        return sum(h.retries for h in self.services.values())
+
+    @property
+    def total_fallbacks(self) -> int:
+        return sum(h.fallbacks for h in self.services.values())
+
+    @property
+    def total_trips(self) -> int:
+        return sum(h.trips for h in self.services.values())
+
+    def render(self) -> str:
+        header = (
+            f"{'service':<22} {'attempts':>8} {'fail':>6} {'retry':>6} "
+            f"{'trips':>6} {'short':>6} {'fallbk':>6} {'delay(s)':>9}"
+        )
+        lines = [header, "-" * len(header)]
+        for name in sorted(self.services):
+            h = self.services[name]
+            lines.append(
+                f"{name:<22} {h.attempts:>8} {h.failures:>6} {h.retries:>6} "
+                f"{h.trips:>6} {h.short_circuits:>6} {h.fallbacks:>6} "
+                f"{h.simulated_delay:>9.2f}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One (point, service) call that did not succeed on a clean first
+    dial.  ``outcome`` is ``recovered`` (a retry eventually succeeded),
+    ``stale_cache``, ``substitute:<name>``, or ``missing``."""
+
+    point_id: int
+    service: str
+    outcome: str
+    retries: int = 0
+    error: str | None = None
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the cell's value is not the primary fresh response."""
+        return self.outcome != "recovered"
+
+
+@dataclass
+class DegradationReport:
+    """Degradation summary a resilient featurization run hands back."""
+
+    events: list[DegradationEvent] = field(default_factory=list)
+    n_cells: int = 0
+
+    @property
+    def n_recovered(self) -> int:
+        return sum(1 for e in self.events if e.outcome == "recovered")
+
+    @property
+    def n_degraded(self) -> int:
+        return sum(1 for e in self.events if e.degraded)
+
+    @property
+    def n_missing(self) -> int:
+        return sum(1 for e in self.events if e.outcome == "missing")
+
+    @property
+    def total_retries(self) -> int:
+        return sum(e.retries for e in self.events)
+
+    @property
+    def n_fallbacks(self) -> int:
+        return self.n_degraded
+
+    @property
+    def degraded_fraction(self) -> float:
+        return self.n_degraded / self.n_cells if self.n_cells else 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.n_degraded == 0
+
+    def by_service(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for event in self.events:
+            if event.degraded:
+                out[event.service] = out.get(event.service, 0) + 1
+        return out
+
+    def by_outcome(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for event in self.events:
+            out[event.outcome] = out.get(event.outcome, 0) + 1
+        return out
+
+    def render(self) -> str:
+        lines = [
+            f"degradation: {self.n_degraded}/{self.n_cells} cells degraded "
+            f"({self.degraded_fraction:.1%}), {self.n_recovered} recovered "
+            f"via {self.total_retries} retries"
+        ]
+        for outcome, count in sorted(self.by_outcome().items()):
+            lines.append(f"  {outcome:<20} {count}")
+        return "\n".join(lines)
+
+
+class ResiliencePolicy:
+    """Retry + circuit breaker + fallback around resource service calls.
+
+    Parameters
+    ----------
+    retry:
+        Backoff policy (defaults to 3 attempts).
+    circuit:
+        Breaker config, or ``None`` (default) for no breaker — see the
+        module docstring for the determinism trade-off.
+    fallback:
+        Chain consulted when attempts are exhausted; ``None`` degrades
+        straight to :data:`MISSING`.
+    seed:
+        Seeds the backoff-jitter streams.
+    """
+
+    def __init__(
+        self,
+        retry: RetryConfig | None = None,
+        circuit: CircuitConfig | None = None,
+        fallback: FallbackChain | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.retry = retry or RetryConfig()
+        self.circuit = circuit
+        self.fallback = fallback
+        self.seed = seed
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._health: dict[str, ServiceHealth] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # state accessors
+    # ------------------------------------------------------------------
+    def breaker(self, service: str) -> CircuitBreaker | None:
+        if self.circuit is None:
+            return None
+        with self._lock:
+            if service not in self._breakers:
+                self._breakers[service] = CircuitBreaker(self.circuit, name=service)
+            return self._breakers[service]
+
+    def health(self, service: str) -> ServiceHealth:
+        with self._lock:
+            if service not in self._health:
+                self._health[service] = ServiceHealth(service=service)
+            return self._health[service]
+
+    def health_report(self) -> HealthReport:
+        with self._lock:
+            services = {
+                name: ServiceHealth(**vars(h)) for name, h in self._health.items()
+            }
+        for name, breaker in self._breakers.items():
+            if name in services:
+                services[name].trips = breaker.trips
+        return HealthReport(services=services)
+
+    def reset(self) -> None:
+        """Drop all breaker state, health stats, and stale-cache state."""
+        with self._lock:
+            self._breakers.clear()
+            self._health.clear()
+
+    # ------------------------------------------------------------------
+    # the guarded call
+    # ------------------------------------------------------------------
+    def call(
+        self,
+        resource: OrganizationalResource,
+        point: DataPoint,
+        rng_factory: Callable[[], np.random.Generator],
+        seed: int = 0,
+    ) -> tuple[object, DegradationEvent | None]:
+        """Apply ``resource`` to ``point`` under this policy.
+
+        ``rng_factory`` builds a *fresh* value-RNG per attempt, so a
+        retried call that finally succeeds yields exactly the value a
+        fault-free run would have produced.  ``seed`` is the
+        featurization seed, forwarded to substitute-service fallbacks.
+        Returns ``(value, event)``; ``event`` is ``None`` for a clean
+        first-dial success.
+        """
+        name = resource.name
+        health = self.health(name)
+        breaker = self.breaker(name)
+        if breaker is not None and not breaker.allow():
+            with self._lock:
+                health.short_circuits += 1
+            return self._degrade(
+                name, point, seed, health, retries=0, error="circuit open"
+            )
+
+        backoff_rng = spawn(self.seed, f"backoff/{name}/{point.point_id}")
+        retries = 0
+        delay = 0.0
+        last_error: Exception | None = None
+        for attempt in range(self.retry.max_attempts):
+            with self._lock:
+                health.attempts += 1
+            try:
+                value = resource.apply(point, rng_factory())
+            except TransientServiceError as exc:
+                last_error = exc
+                with self._lock:
+                    health.failures += 1
+                if breaker is not None:
+                    breaker.record_failure()
+                if attempt + 1 < self.retry.max_attempts:
+                    retries += 1
+                    delay += backoff_delay(self.retry, attempt + 1, backoff_rng)
+                    with self._lock:
+                        health.retries += 1
+                continue
+            except ServiceUnavailableError as exc:
+                last_error = exc
+                with self._lock:
+                    health.failures += 1
+                if breaker is not None:
+                    breaker.record_failure()
+                break
+            else:
+                with self._lock:
+                    health.successes += 1
+                    health.simulated_delay += delay
+                if breaker is not None:
+                    breaker.record_success()
+                if self.fallback is not None and self.fallback.stale_cache is not None:
+                    self.fallback.stale_cache.put(name, point.point_id, value)
+                event = None
+                if retries:
+                    event = DegradationEvent(
+                        point_id=point.point_id,
+                        service=name,
+                        outcome="recovered",
+                        retries=retries,
+                    )
+                return value, event
+
+        with self._lock:
+            health.simulated_delay += delay
+        return self._degrade(
+            name, point, seed, health, retries=retries, error=str(last_error)
+        )
+
+    def _degrade(
+        self,
+        service: str,
+        point: DataPoint,
+        seed: int,
+        health: ServiceHealth,
+        retries: int,
+        error: str | None,
+    ) -> tuple[object, DegradationEvent]:
+        with self._lock:
+            health.fallbacks += 1
+        if self.fallback is not None:
+            value, source = self.fallback.resolve(service, point, seed)
+        else:
+            value, source = MISSING, "missing"
+        event = DegradationEvent(
+            point_id=point.point_id,
+            service=service,
+            outcome=source,
+            retries=retries,
+            error=error,
+        )
+        return value, event

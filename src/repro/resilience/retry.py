@@ -1,0 +1,88 @@
+"""Retry with exponential backoff and deterministic jitter.
+
+Delays are *simulated*: callers accumulate them into health stats
+instead of sleeping, so fault-injection experiments run at full speed
+while still modelling the latency cost of a retry storm.  Jitter is
+drawn from a caller-supplied RNG so the full schedule is reproducible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import TypeVar
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError, TransientServiceError
+
+__all__ = ["RetryConfig", "backoff_delay", "retry_call"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryConfig:
+    """Exponential-backoff retry policy.
+
+    ``max_attempts`` counts the initial call, so ``max_attempts=1``
+    disables retrying.  The delay before attempt ``k`` (k >= 2) is
+    ``min(base_delay * multiplier**(k-2), max_delay)`` scaled by a
+    deterministic jitter factor in ``[1-jitter, 1+jitter]``.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError("jitter must be in [0, 1]")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigurationError("delays must be non-negative")
+
+
+def backoff_delay(
+    config: RetryConfig, attempt: int, rng: np.random.Generator
+) -> float:
+    """Simulated delay before retry number ``attempt`` (1-based)."""
+    if attempt < 1:
+        raise ConfigurationError("attempt must be >= 1")
+    raw = min(
+        config.base_delay * config.multiplier ** (attempt - 1), config.max_delay
+    )
+    if config.jitter == 0.0:
+        return raw
+    return raw * (1.0 + config.jitter * (2.0 * rng.random() - 1.0))
+
+
+def retry_call(
+    fn: Callable[[int], T],
+    config: RetryConfig,
+    rng: np.random.Generator,
+    on_retry: Callable[[int, Exception, float], None] | None = None,
+) -> T:
+    """Call ``fn(attempt)`` until it succeeds or attempts are exhausted.
+
+    Only :class:`TransientServiceError` (and subclasses) are retried;
+    everything else propagates immediately.  ``on_retry`` observes
+    (attempt, error, simulated_delay) before each re-dial.  The last
+    transient error is re-raised when the budget runs out.
+    """
+    last_error: TransientServiceError | None = None
+    for attempt in range(config.max_attempts):
+        try:
+            return fn(attempt)
+        except TransientServiceError as exc:
+            last_error = exc
+            if attempt + 1 >= config.max_attempts:
+                break
+            delay = backoff_delay(config, attempt + 1, rng)
+            if on_retry is not None:
+                on_retry(attempt + 1, exc, delay)
+    assert last_error is not None
+    raise last_error

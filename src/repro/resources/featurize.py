@@ -6,6 +6,15 @@ our MapReduce framework").  Each point gets its own derived RNG, so the
 output is deterministic and independent of partitioning or thread
 scheduling, and featurizing the same corpus with a *subset* of resources
 yields values identical to selecting columns from the full run.
+
+When a :class:`~repro.resilience.policy.ResiliencePolicy` is supplied,
+every (point, resource) call is guarded: transient service faults are
+retried with backoff, exhausted calls degrade through the policy's
+fallback chain to :data:`MISSING` instead of aborting the run, and the
+returned table carries a :class:`DegradationReport`.  The value RNG is
+re-derived per attempt, so a retried call that eventually succeeds
+yields exactly the value a fault-free run would have produced — a
+resilient run with the same seed is bit-identical across thread counts.
 """
 
 from __future__ import annotations
@@ -18,6 +27,11 @@ from repro.datagen.corpus import Corpus
 from repro.datagen.entities import DataPoint
 from repro.features.schema import FeatureSchema
 from repro.features.table import MISSING, FeatureTable
+from repro.resilience.policy import (
+    DegradationEvent,
+    DegradationReport,
+    ResiliencePolicy,
+)
 from repro.resources.base import OrganizationalResource
 
 __all__ = ["featurize_corpus", "featurize_point"]
@@ -27,19 +41,33 @@ def featurize_point(
     point: DataPoint,
     resources: Iterable[OrganizationalResource],
     seed: int = 0,
+    policy: ResiliencePolicy | None = None,
+    events: list[DegradationEvent] | None = None,
 ) -> dict[str, object]:
     """Apply every supporting resource to one point.
 
     Each (point, resource) pair draws from its own derived RNG stream,
-    so values do not depend on which other resources run.
+    so values do not depend on which other resources run.  With a
+    ``policy``, service faults degrade to :data:`MISSING` under the
+    policy's retry/fallback rules and per-cell
+    :class:`DegradationEvent`\\ s are appended to ``events`` (when
+    provided).
     """
     row: dict[str, object] = {}
     for resource in resources:
         if not resource.supports(point.modality):
             row[resource.name] = MISSING
             continue
-        rng = spawn(seed, f"feat/{point.point_id}/{resource.name}")
-        row[resource.name] = resource.apply(point, rng)
+        tag = f"feat/{point.point_id}/{resource.name}"
+        if policy is None:
+            row[resource.name] = resource.apply(point, spawn(seed, tag))
+            continue
+        value, event = policy.call(
+            resource, point, rng_factory=lambda: spawn(seed, tag), seed=seed
+        )
+        row[resource.name] = value
+        if event is not None and events is not None:
+            events.append(event)
     return row
 
 
@@ -49,19 +77,43 @@ def featurize_corpus(
     seed: int = 0,
     include_labels: bool = False,
     n_threads: int = 1,
+    policy: ResiliencePolicy | None = None,
 ) -> FeatureTable:
     """Featurize a corpus into a row-aligned :class:`FeatureTable`.
 
     ``include_labels=True`` attaches the corpus's ground-truth labels —
     only do this for corpora the pipeline is allowed to see labels for
     (old-modality training data, dev sets, test sets).
+
+    With a ``policy``, the run survives service faults: failed cells
+    degrade per the policy and ``table.degradation`` reports every
+    retried or degraded (point, resource) pair in row order.
     """
     schema = FeatureSchema(r.spec for r in resources)
-    rows = run_map(
-        corpus.points,
-        lambda point: featurize_point(point, resources, seed=seed),
-        n_threads=n_threads,
-    )
+
+    if policy is None:
+        rows = run_map(
+            corpus.points,
+            lambda point: featurize_point(point, resources, seed=seed),
+            n_threads=n_threads,
+        )
+        report = None
+    else:
+
+        def _one(point: DataPoint) -> tuple[dict[str, object], list[DegradationEvent]]:
+            local: list[DegradationEvent] = []
+            row = featurize_point(
+                point, resources, seed=seed, policy=policy, events=local
+            )
+            return row, local
+
+        mapped = run_map(corpus.points, _one, n_threads=n_threads)
+        rows = [row for row, _ in mapped]
+        events = [event for _, local in mapped for event in local]
+        report = DegradationReport(
+            events=events, n_cells=len(corpus.points) * len(resources)
+        )
+
     columns: dict[str, list[object]] = {name: [] for name in schema.names}
     for row in rows:
         for name in schema.names:
@@ -72,4 +124,5 @@ def featurize_corpus(
         point_ids=corpus.point_ids,
         modalities=[p.modality for p in corpus.points],
         labels=corpus.labels if include_labels else None,
+        degradation=report,
     )

@@ -174,3 +174,42 @@ class TestMonitoring:
             ReviewQueue(tiny_splits.image_test, budget=0)
         with pytest.raises(ConfigurationError):
             ReviewQueue(tiny_splits.image_test, budget=5, reviewer_error=0.7)
+
+
+class TestDegenerateComparison:
+    def test_single_class_sample_flagged(self, tiny_splits, tiny_test_table):
+        """An all-negative review sample cannot support AUPRC: the
+        comparison must be flagged degenerate, not mislabeled."""
+        negatives = np.flatnonzero(tiny_test_table.labels == 0)
+        corpus = tiny_splits.image_test.filter(lambda p: p.label == 0)
+        table = tiny_test_table.select_rows(negatives)
+
+        class Flat:
+            def __init__(self, level):
+                self.level = level
+
+            def predict_proba(self, t):
+                return np.full(t.n_rows, self.level)
+
+        queue = ReviewQueue(corpus, budget=60, reviewer_error=0.0, seed=0)
+        result = compare_models(Flat(0.8), Flat(0.2), table, queue, seed=1)
+        assert result.degenerate
+        # fields hold mean scores (tie-break), clearly not AUPRC
+        assert result.auprc_a == pytest.approx(0.8)
+        assert result.auprc_b == pytest.approx(0.2)
+        assert "DEGENERATE" in result.render()
+        assert "not AUPRC" in result.render()
+
+    def test_mixed_sample_not_flagged(self, tiny_splits, tiny_test_table):
+        gold = tiny_test_table.labels.astype(float)
+
+        class Oracle:
+            def predict_proba(self, t):
+                return gold
+
+        queue = ReviewQueue(
+            tiny_splits.image_test, budget=200, reviewer_error=0.0, seed=2
+        )
+        result = compare_models(Oracle(), Oracle(), tiny_test_table, queue, seed=3)
+        assert not result.degenerate
+        assert "DEGENERATE" not in result.render()

@@ -93,3 +93,156 @@ def test_run_map_threaded_order_preserved():
 def test_keys_sorted_in_output():
     result = run_mapreduce(["b a c"], word_count_mapper, sum_reducer)
     assert list(result) == sorted(result)
+
+
+# ----------------------------------------------------------------------
+# robustness: raising mappers, record retries, skip_bad_records
+# ----------------------------------------------------------------------
+from repro.core.exceptions import RecordError  # noqa: E402
+
+
+def test_raising_mapper_surfaces_record_context():
+    def mapper(record):
+        if record == 13:
+            raise ValueError("poisoned")
+        yield record % 3, record
+
+    with pytest.raises(RecordError) as info:
+        run_mapreduce(list(range(20)), mapper, sum_reducer)
+    assert info.value.index == 13
+    assert info.value.record == 13
+    assert "poisoned" in str(info.value)
+    assert isinstance(info.value.__cause__, ValueError)
+
+
+def test_raising_mapper_threaded_surfaces_record_context():
+    def mapper(record):
+        if record == 13:
+            raise ValueError("poisoned")
+        yield "k", record
+
+    with pytest.raises(RecordError) as info:
+        run_mapreduce(list(range(40)), mapper, sum_reducer, n_threads=4)
+    assert info.value.index == 13
+
+
+def test_skip_bad_records_drops_only_poisoned():
+    def mapper(record):
+        if record % 7 == 0:
+            raise ValueError("bad")
+        yield "k", record
+
+    job = MapReduceJob(
+        mapper=mapper, reducer=lambda k, vs: sorted(vs), skip_bad_records=True
+    )
+    result = job.run(list(range(21)))
+    expected = sorted(r for r in range(21) if r % 7 != 0)
+    assert result["k"] == expected
+    assert job.counters["failed_records"] == 3
+    assert job.counters["records_mapped"] == 18
+
+
+def test_skip_bad_records_threaded_matches_sequential():
+    def mapper(record):
+        if record % 5 == 0:
+            raise ValueError("bad")
+        yield record % 3, record
+
+    seq = run_mapreduce(
+        list(range(60)), mapper, lambda k, vs: sorted(vs),
+        skip_bad_records=True, n_threads=1,
+    )
+    par = run_mapreduce(
+        list(range(60)), mapper, lambda k, vs: sorted(vs),
+        skip_bad_records=True, n_threads=4,
+    )
+    assert seq == par
+
+
+def test_record_retries_recover_flaky_mapper():
+    import threading
+
+    attempts: dict[int, int] = {}
+    lock = threading.Lock()
+
+    def flaky_mapper(record):
+        with lock:
+            attempts[record] = attempts.get(record, 0) + 1
+            if attempts[record] == 1 and record % 4 == 0:
+                raise RuntimeError("first attempt always fails")
+        yield "k", record
+
+    job = MapReduceJob(
+        mapper=flaky_mapper, reducer=lambda k, vs: sorted(vs),
+        record_retries=1, n_threads=4,
+    )
+    result = job.run(list(range(16)))
+    assert result["k"] == list(range(16))
+    assert job.counters["retried_records"] == 4
+    assert job.counters["failed_records"] == 0
+
+
+def test_mapper_side_counters_aggregated_across_threads():
+    lines = [f"w{i % 7} w{i % 3}" for i in range(200)]
+    job = MapReduceJob(
+        mapper=word_count_mapper,
+        reducer=sum_reducer,
+        combiner=lambda key, values: [sum(values)],
+        n_threads=4,
+        n_partitions=8,
+    )
+    job.run(lines)
+    assert job.counters["records_mapped"] == 200
+    assert job.counters["map_output_values"] == 400
+    assert job.counters["combiner_values_in"] == 400
+    # combiner folds each partition's values for a key into one
+    assert 0 < job.counters["combiner_values_out"] < 400
+
+
+def test_run_map_skip_and_counters():
+    def fn(r):
+        if r == 5:
+            raise ValueError("bad")
+        return r * 2
+
+    counters: dict[str, int] = {}
+    out = run_map(
+        list(range(10)), fn, n_threads=4, skip_bad_records=True,
+        error_value=None, counters=counters,
+    )
+    assert out == [r * 2 if r != 5 else None for r in range(10)]
+    assert counters["failed_records"] == 1
+    assert counters["records_mapped"] == 9
+
+
+def test_run_map_raises_with_context():
+    def fn(r):
+        if r == 3:
+            raise KeyError("boom")
+        return r
+
+    with pytest.raises(RecordError) as info:
+        run_map(list(range(6)), fn)
+    assert info.value.index == 3
+
+
+def test_run_map_retries_flaky_fn():
+    import threading
+
+    attempts: dict[int, int] = {}
+    lock = threading.Lock()
+
+    def flaky(r):
+        with lock:
+            attempts[r] = attempts.get(r, 0) + 1
+            if attempts[r] == 1:
+                raise RuntimeError("flake")
+        return r + 1
+
+    counters: dict[str, int] = {}
+    out = run_map(
+        list(range(8)), flaky, n_threads=4, record_retries=2, counters=counters
+    )
+    assert out == [r + 1 for r in range(8)]
+    assert counters["retried_records"] == 8
+    assert counters["failed_records"] == 0

@@ -1,0 +1,531 @@
+"""Tests for repro.resilience — faults, retry, breakers, fallback, and
+resilient featurization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import (
+    CircuitOpenError,
+    ConfigurationError,
+    RateLimitError,
+    ServiceTimeoutError,
+    ServiceUnavailableError,
+    TransientServiceError,
+)
+from repro.core.rng import spawn
+from repro.datagen.corpus import Corpus
+from repro.features.table import MISSING
+from repro.resilience import (
+    CircuitBreaker,
+    CircuitConfig,
+    CircuitState,
+    FallbackChain,
+    FaultInjector,
+    FaultSpec,
+    ResiliencePolicy,
+    RetryConfig,
+    StaleValueCache,
+    backoff_delay,
+    build_substitute_map,
+    retry_call,
+)
+from repro.resources.featurize import featurize_corpus, featurize_point
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def values_equal(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+            and np.array_equal(a, b)
+        )
+    return a == b
+
+
+def tables_equal(a, b):
+    if a.feature_names != b.feature_names or a.n_rows != b.n_rows:
+        return False
+    for name in a.feature_names:
+        for va, vb in zip(a.column(name), b.column(name)):
+            if not values_equal(va, vb):
+                return False
+    return True
+
+
+@pytest.fixture(scope="module")
+def small_corpus(tiny_splits):
+    return Corpus(points=tiny_splits.image_test.points[:30], name="resilience")
+
+
+@pytest.fixture(scope="module")
+def suite(tiny_catalog):
+    return list(tiny_catalog)
+
+
+# ----------------------------------------------------------------------
+# fault injection
+# ----------------------------------------------------------------------
+class TestFaultInjection:
+    def test_faultless_spec_passthrough(self, suite, small_corpus):
+        injector = FaultInjector(FaultSpec(), seed=1)
+        wrapped = injector.wrap_all(suite)
+        clean = featurize_corpus(small_corpus, suite, seed=3)
+        faulty = featurize_corpus(small_corpus, wrapped, seed=3)
+        assert tables_equal(clean, faulty)
+        assert injector.total_faults == 0
+
+    def test_transient_rate_observed(self, suite, small_corpus):
+        resource = suite[0]
+        client = FaultInjector(FaultSpec(transient_rate=0.5), seed=2).wrap(resource)
+        failures = 0
+        n = 0
+        for point in small_corpus:
+            if not resource.supports(point.modality):
+                continue
+            n += 1
+            try:
+                client.apply(point, spawn(0, f"t/{point.point_id}"))
+            except TransientServiceError:
+                failures += 1
+        assert 0 < failures < n
+
+    def test_fault_schedule_deterministic(self, suite, small_corpus):
+        def schedule(seed):
+            client = FaultInjector(
+                FaultSpec(transient_rate=0.4), seed=seed
+            ).wrap(suite[0])
+            out = []
+            for point in small_corpus:
+                if not client.supports(point.modality):
+                    continue
+                try:
+                    client.apply(point, spawn(0, f"d/{point.point_id}"))
+                    out.append("ok")
+                except TransientServiceError:
+                    out.append("fail")
+            return out
+
+        assert schedule(5) == schedule(5)
+        assert schedule(5) != schedule(6)
+
+    def test_crash_points_always_crash(self, suite, small_corpus):
+        point = small_corpus[0]
+        spec = FaultSpec(crash_points=frozenset({point.point_id}))
+        client = FaultInjector(spec, seed=0).wrap(suite[0])
+        for _ in range(3):
+            with pytest.raises(ServiceUnavailableError):
+                client.apply(point, spawn(0, "crash"))
+
+    def test_rate_limit_raises(self, suite, small_corpus):
+        client = FaultInjector(FaultSpec(rate_limit_rate=1.0), seed=0).wrap(suite[0])
+        with pytest.raises(RateLimitError):
+            client.apply(small_corpus[0], spawn(0, "rl"))
+
+    def test_timeout_from_latency_budget(self, suite, small_corpus):
+        # mean latency far above budget: every call times out
+        spec = FaultSpec(mean_latency=500.0, latency_sigma=0.1, timeout_budget=50.0)
+        client = FaultInjector(spec, seed=0).wrap(suite[0])
+        with pytest.raises(ServiceTimeoutError):
+            client.apply(small_corpus[0], spawn(0, "to"))
+        # generous budget: no timeouts
+        spec = FaultSpec(mean_latency=10.0, latency_sigma=0.1, timeout_budget=10_000.0)
+        client = FaultInjector(spec, seed=0).wrap(suite[0])
+        client.apply(small_corpus[0], spawn(0, "to"))
+
+    def test_degraded_output_is_partial(self, suite, small_corpus):
+        categorical = next(
+            r for r in suite if r.spec.kind.value == "categorical"
+        )
+        clean_client = FaultInjector(FaultSpec(), seed=0).wrap(categorical)
+        degraded_client = FaultInjector(
+            FaultSpec(degraded_rate=1.0), seed=0
+        ).wrap(categorical)
+        saw_loss = False
+        for point in small_corpus:
+            if not categorical.supports(point.modality):
+                continue
+            tag = f"deg/{point.point_id}"
+            clean = clean_client.apply(point, spawn(0, tag))
+            degraded = degraded_client.apply(point, spawn(0, tag))
+            if clean is None:
+                assert degraded is None
+                continue
+            assert degraded <= clean  # partial result set
+            if degraded < clean:
+                saw_loss = True
+        assert saw_loss
+
+    def test_attempt_counter_gives_fresh_draws(self, suite, small_corpus):
+        # at 50% transient rate, repeated dials of the same point must
+        # not all agree (attempt index feeds the fault stream)
+        client = FaultInjector(FaultSpec(transient_rate=0.5), seed=4).wrap(suite[0])
+        point = small_corpus[0]
+        outcomes = set()
+        for _ in range(12):
+            try:
+                client.apply(point, spawn(0, "fresh"))
+                outcomes.add("ok")
+            except TransientServiceError:
+                outcomes.add("fail")
+        assert outcomes == {"ok", "fail"}
+
+    def test_reset_replays_schedule(self, suite, small_corpus):
+        client = FaultInjector(FaultSpec(transient_rate=0.5), seed=4).wrap(suite[0])
+        point = small_corpus[0]
+
+        def one_round():
+            out = []
+            for _ in range(6):
+                try:
+                    client.apply(point, spawn(0, "replay"))
+                    out.append("ok")
+                except TransientServiceError:
+                    out.append("fail")
+            return out
+
+        first = one_round()
+        client.reset()
+        assert one_round() == first
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(transient_rate=1.5)
+
+
+# ----------------------------------------------------------------------
+# retry / backoff
+# ----------------------------------------------------------------------
+class TestRetry:
+    def test_succeeds_after_transient_failures(self):
+        calls = []
+
+        def flaky(attempt):
+            calls.append(attempt)
+            if attempt < 2:
+                raise TransientServiceError("flaky")
+            return "ok"
+
+        assert retry_call(flaky, RetryConfig(max_attempts=3), spawn(0, "r")) == "ok"
+        assert calls == [0, 1, 2]
+
+    def test_exhausted_raises_last_error(self):
+        def always(attempt):
+            raise TransientServiceError(f"attempt {attempt}")
+
+        with pytest.raises(TransientServiceError, match="attempt 2"):
+            retry_call(always, RetryConfig(max_attempts=3), spawn(0, "r"))
+
+    def test_non_transient_not_retried(self):
+        calls = []
+
+        def hard(attempt):
+            calls.append(attempt)
+            raise ServiceUnavailableError("down")
+
+        with pytest.raises(ServiceUnavailableError):
+            retry_call(hard, RetryConfig(max_attempts=5), spawn(0, "r"))
+        assert calls == [0]
+
+    def test_backoff_grows_and_caps(self):
+        config = RetryConfig(
+            base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0
+        )
+        rng = spawn(0, "b")
+        delays = [backoff_delay(config, k, rng) for k in range(1, 6)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_deterministic_and_bounded(self):
+        config = RetryConfig(base_delay=1.0, multiplier=1.0, jitter=0.2)
+        a = [backoff_delay(config, 1, spawn(9, "j")) for _ in range(1)]
+        b = [backoff_delay(config, 1, spawn(9, "j")) for _ in range(1)]
+        assert a == b
+        for _ in range(50):
+            d = backoff_delay(config, 1, spawn(_, "j"))
+            assert 0.8 <= d <= 1.2
+
+    def test_on_retry_observes_delays(self):
+        seen = []
+
+        def flaky(attempt):
+            if attempt == 0:
+                raise TransientServiceError("once")
+            return attempt
+
+        retry_call(
+            flaky,
+            RetryConfig(max_attempts=2),
+            spawn(0, "o"),
+            on_retry=lambda attempt, exc, delay: seen.append((attempt, delay)),
+        )
+        assert len(seen) == 1 and seen[0][1] > 0
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            RetryConfig(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryConfig(jitter=2.0)
+
+
+# ----------------------------------------------------------------------
+# circuit breaker
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        defaults = dict(
+            failure_threshold=3, recovery_ticks=5, half_open_max_calls=1,
+            success_threshold=1,
+        )
+        defaults.update(kwargs)
+        return CircuitBreaker(CircuitConfig(**defaults), name="svc")
+
+    def trip(self, breaker, n=3):
+        for _ in range(n):
+            assert breaker.allow()
+            breaker.record_failure()
+
+    def test_closed_to_open_on_consecutive_failures(self):
+        breaker = self.make()
+        assert breaker.state is CircuitState.CLOSED
+        self.trip(breaker)
+        assert breaker.state is CircuitState.OPEN
+        assert breaker.trips == 1
+
+    def test_success_resets_failure_streak(self):
+        breaker = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is CircuitState.CLOSED
+
+    def test_open_short_circuits_without_calling(self):
+        breaker = self.make(recovery_ticks=100)
+        self.trip(breaker)
+        for _ in range(5):
+            assert not breaker.allow()
+        assert breaker.short_circuits == 5
+        with pytest.raises(CircuitOpenError):
+            breaker.check()
+
+    def test_half_open_probe_recovers(self):
+        breaker = self.make(recovery_ticks=3)
+        self.trip(breaker)
+        # burn ticks until the recovery window elapses
+        while not breaker.allow():
+            pass
+        assert breaker.state is CircuitState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is CircuitState.CLOSED
+
+    def test_half_open_failure_reopens(self):
+        breaker = self.make(recovery_ticks=3)
+        self.trip(breaker)
+        while not breaker.allow():
+            pass
+        assert breaker.state is CircuitState.HALF_OPEN
+        breaker.record_failure()
+        assert breaker.state is CircuitState.OPEN
+        assert breaker.trips == 2
+
+    def test_half_open_limits_probes(self):
+        breaker = self.make(recovery_ticks=3, half_open_max_calls=1)
+        self.trip(breaker)
+        while not breaker.allow():
+            pass
+        # one probe admitted; a second concurrent probe is rejected
+        assert not breaker.allow()
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            CircuitConfig(failure_threshold=0)
+
+
+# ----------------------------------------------------------------------
+# fallback chain
+# ----------------------------------------------------------------------
+class TestFallback:
+    def test_substitute_map_same_set_same_kind(self, suite):
+        subs = build_substitute_map(suite)
+        by_name = {r.name: r for r in suite}
+        for name, candidates in subs.items():
+            spec = by_name[name].spec
+            for sub in candidates:
+                assert sub.spec.service_set == spec.service_set
+                assert sub.spec.kind is spec.kind
+                assert sub.name != name
+        # topics (set C categorical) has categorical C siblings
+        assert [s.name for s in subs["topics"]]
+
+    def test_numeric_excluded_by_default(self, suite):
+        subs = build_substitute_map(suite)
+        assert subs["url_risk_score"] == []
+        with_numeric = build_substitute_map(suite, substitute_numeric=True)
+        assert [s.name for s in with_numeric["url_risk_score"]]
+
+    def test_substitute_value_matches_sibling_featurization(
+        self, suite, small_corpus
+    ):
+        subs = build_substitute_map(suite)
+        chain = FallbackChain(substitutes=subs)
+        point = small_corpus[0]
+        value, source = chain.resolve("topics", point, seed=3)
+        assert source.startswith("substitute:")
+        sibling = source.split(":", 1)[1]
+        expected = featurize_point(point, suite, seed=3)[sibling]
+        assert values_equal(value, expected)
+
+    def test_stale_cache_preferred(self, small_corpus):
+        cache = StaleValueCache()
+        point = small_corpus[0]
+        cache.put("svc", point.point_id, frozenset({"cached"}))
+        chain = FallbackChain(stale_cache=cache)
+        value, source = chain.resolve("svc", point, seed=0)
+        assert source == "stale_cache"
+        assert value == frozenset({"cached"})
+
+    def test_missing_is_the_floor(self, small_corpus):
+        chain = FallbackChain()
+        value, source = chain.resolve("unknown_service", small_corpus[0], seed=0)
+        assert value is MISSING
+        assert source == "missing"
+
+    def test_faulty_substitute_falls_through(self, suite, small_corpus):
+        # substitutes that themselves raise ServiceError are skipped
+        injector = FaultInjector(FaultSpec(transient_rate=1.0), seed=0)
+        wrapped = injector.wrap_all(suite)
+        chain = FallbackChain(substitutes=build_substitute_map(wrapped))
+        value, source = chain.resolve("topics", small_corpus[0], seed=3)
+        assert value is MISSING
+        assert source == "missing"
+
+
+# ----------------------------------------------------------------------
+# policy + resilient featurization
+# ----------------------------------------------------------------------
+def make_faulty_setup(suite, transient_rate=0.2, injector_seed=3, policy_seed=11):
+    injector = FaultInjector(FaultSpec(transient_rate=transient_rate), seed=injector_seed)
+    wrapped = injector.wrap_all(suite)
+    policy = ResiliencePolicy(
+        retry=RetryConfig(max_attempts=3),
+        fallback=FallbackChain(substitutes=build_substitute_map(wrapped)),
+        seed=policy_seed,
+    )
+    return wrapped, policy
+
+
+class TestResilientFeaturization:
+    def test_completes_with_degradation_report(self, suite, small_corpus):
+        wrapped, policy = make_faulty_setup(suite)
+        table = featurize_corpus(small_corpus, wrapped, seed=5, policy=policy)
+        report = table.degradation
+        assert report is not None
+        assert report.n_cells == len(small_corpus) * len(suite)
+        assert report.total_retries > 0
+        assert report.n_recovered > 0
+        assert 0.0 <= report.degraded_fraction < 0.2
+        assert report.render()
+
+    def test_same_seed_identical_across_runs_and_threads(
+        self, suite, small_corpus
+    ):
+        tables = []
+        for n_threads in (1, 4, 1):
+            wrapped, policy = make_faulty_setup(suite)
+            tables.append(
+                featurize_corpus(
+                    small_corpus, wrapped, seed=5, n_threads=n_threads,
+                    policy=policy,
+                )
+            )
+        assert tables_equal(tables[0], tables[1])
+        assert tables_equal(tables[0], tables[2])
+
+    def test_untouched_cells_match_fault_free_run(self, suite, small_corpus):
+        wrapped, policy = make_faulty_setup(suite)
+        faulty = featurize_corpus(small_corpus, wrapped, seed=5, policy=policy)
+        clean = featurize_corpus(small_corpus, suite, seed=5)
+        touched = {
+            (e.point_id, e.service)
+            for e in faulty.degradation.events
+            if e.degraded
+        }
+        for i, point_id in enumerate(faulty.point_ids):
+            for name in faulty.feature_names:
+                if (point_id, name) in touched:
+                    continue
+                assert values_equal(faulty.value(i, name), clean.value(i, name))
+
+    def test_health_report_counts(self, suite, small_corpus):
+        wrapped, policy = make_faulty_setup(suite)
+        featurize_corpus(small_corpus, wrapped, seed=5, policy=policy)
+        report = policy.health_report()
+        assert report.total_attempts > len(small_corpus)
+        assert report.total_retries > 0
+        assert report.render()
+        one = next(iter(report.services.values()))
+        assert one.attempts >= one.successes + one.failures - one.retries
+
+    def test_policy_without_fallback_degrades_to_missing(
+        self, suite, small_corpus
+    ):
+        injector = FaultInjector(FaultSpec(transient_rate=1.0), seed=0)
+        wrapped = injector.wrap_all(suite)
+        policy = ResiliencePolicy(retry=RetryConfig(max_attempts=2))
+        table = featurize_corpus(small_corpus, wrapped, seed=5, policy=policy)
+        assert table.degradation.n_missing == table.degradation.n_cells
+        for name in table.feature_names:
+            assert all(v is MISSING for v in table.column(name))
+
+    def test_circuit_breaker_trips_under_outage(self, suite, small_corpus):
+        injector = FaultInjector(FaultSpec(transient_rate=1.0), seed=0)
+        wrapped = injector.wrap_all(suite)
+        policy = ResiliencePolicy(
+            retry=RetryConfig(max_attempts=2),
+            circuit=CircuitConfig(failure_threshold=4, recovery_ticks=1000),
+            seed=1,
+        )
+        featurize_corpus(small_corpus, wrapped, seed=5, policy=policy)
+        report = policy.health_report()
+        assert report.total_trips > 0
+        assert any(h.short_circuits > 0 for h in report.services.values())
+
+    def test_stale_cache_survives_second_pass(self, suite, small_corpus):
+        # pass 1: no faults, warm the cache; pass 2: total outage — every
+        # cell resolves from the stale cache with pass-1 values
+        cache = StaleValueCache()
+        warm_policy = ResiliencePolicy(
+            fallback=FallbackChain(stale_cache=cache)
+        )
+        clean = featurize_corpus(
+            small_corpus, suite, seed=5, policy=warm_policy
+        )
+        injector = FaultInjector(FaultSpec(transient_rate=1.0), seed=0)
+        wrapped = injector.wrap_all(suite)
+        outage_policy = ResiliencePolicy(
+            retry=RetryConfig(max_attempts=2),
+            fallback=FallbackChain(stale_cache=cache),
+        )
+        stale = featurize_corpus(
+            small_corpus, wrapped, seed=5, policy=outage_policy
+        )
+        assert stale.degradation.by_outcome().get("stale_cache", 0) > 0
+        assert tables_equal(clean, stale)
+
+    def test_unsupported_modality_still_missing_without_event(
+        self, suite, small_corpus
+    ):
+        wrapped, policy = make_faulty_setup(suite)
+        table = featurize_corpus(small_corpus, wrapped, seed=5, policy=policy)
+        # image-only corpus: no text-only features here, but embedding
+        # features exist; check a feature absent for images stays MISSING
+        for name in table.feature_names:
+            spec = table.schema[name]
+            for i, modality in enumerate(table.modalities):
+                if not spec.available_for(modality):
+                    assert table.value(i, name) is MISSING

@@ -149,3 +149,85 @@ class TestStandardSuite:
         org = tiny_catalog.get("org_embedding").apply(point, spawn(0, "a"))
         generic = tiny_catalog.get("generic_embedding").apply(point, spawn(0, "b"))
         assert not np.allclose(org, generic)
+
+
+class TestChannelNoiseEdgeCases:
+    """Satellite coverage: availability extremes, empty inputs,
+    swap+drop interaction, and determinism under a fixed rng."""
+
+    def _service(self, noise):
+        spec = FeatureSpec("topics", FeatureKind.CATEGORICAL, service_set="C")
+        return LatentCategoricalService(
+            spec,
+            extractor=lambda latent: latent.topics,
+            universe=60,
+            prefix="t",
+            noise=noise,
+        )
+
+    def test_availability_zero_never_returns(self, tiny_splits):
+        service = self._service(
+            {Modality.IMAGE: ChannelNoise(availability=0.0)}
+        )
+        for i, point in enumerate(tiny_splits.image_test.points[:30]):
+            assert service.apply(point, spawn(0, f"a0/{i}")) is None
+
+    def test_availability_one_always_returns(self, tiny_splits):
+        service = self._service(
+            {Modality.IMAGE: ChannelNoise(availability=1.0)}
+        )
+        for i, point in enumerate(tiny_splits.image_test.points[:30]):
+            assert service.apply(point, spawn(0, f"a1/{i}")) is not None
+
+    def test_empty_values_no_noise_is_empty(self, rng):
+        channel = ChannelNoise()
+        assert channel.observe((), universe=10, rng=rng) == ()
+
+    def test_empty_values_with_drop_and_swap_is_empty(self, rng):
+        # drop/swap act on existing values only; nothing in, nothing out
+        channel = ChannelNoise(drop=0.9, swap=0.9)
+        for _ in range(20):
+            assert channel.observe((), universe=10, rng=rng) == ()
+
+    def test_full_drop_beats_full_swap(self, rng):
+        # a dropped value is never swapped back in
+        channel = ChannelNoise(drop=1.0, swap=1.0)
+        for _ in range(20):
+            assert channel.observe((1, 2, 3), universe=10, rng=rng) == ()
+
+    def test_swap_only_applies_to_survivors(self):
+        # with 50% drop and full swap, surviving values are all swapped:
+        # the output never contains an original id (universe large, so
+        # a swap landing back on an original id is vanishingly rare)
+        channel = ChannelNoise(drop=0.5, swap=1.0)
+        values = tuple(range(10))
+        out = channel.observe(values, universe=100_000, rng=spawn(3, "sw"))
+        assert 0 < len(out) < 10
+        assert not (set(out) & set(values))
+
+    def test_swap_stays_in_universe(self, rng):
+        channel = ChannelNoise(swap=1.0)
+        for _ in range(50):
+            out = channel.observe((0,), universe=3, rng=rng)
+            assert all(0 <= v < 3 for v in out)
+
+    def test_deterministic_under_fixed_rng(self):
+        channel = ChannelNoise(drop=0.3, spurious=1.5, swap=0.2)
+        values = tuple(range(12))
+        a = channel.observe(values, universe=200, rng=spawn(9, "det"))
+        b = channel.observe(values, universe=200, rng=spawn(9, "det"))
+        assert a == b
+        c = channel.observe(values, universe=200, rng=spawn(10, "det"))
+        # a different stream almost surely differs
+        assert a != c
+
+    def test_availability_determinism_through_service(self, tiny_splits):
+        service = self._service(
+            {Modality.IMAGE: ChannelNoise(availability=0.5, drop=0.2)}
+        )
+        points = tiny_splits.image_test.points[:30]
+        a = [service.apply(p, spawn(4, f"d/{i}")) for i, p in enumerate(points)]
+        b = [service.apply(p, spawn(4, f"d/{i}")) for i, p in enumerate(points)]
+        assert a == b
+        assert any(v is None for v in a)
+        assert any(v is not None for v in a)
