@@ -5,11 +5,19 @@ prints it.  ``REPRO_BENCH_SCALE`` (default 0.4) rescales corpus sizes:
 1.0 corresponds to roughly 1/1000 of the paper's corpora (see
 DESIGN.md); smaller values trade fidelity for speed.
 ``REPRO_BENCH_SEED`` (default 1) seeds everything.
+
+Every benchmark also emits a machine-readable ``BENCH_<name>.json``
+artifact (see :mod:`repro.obs.bench`) with its wall-clock timing and
+key result metrics.  ``REPRO_BENCH_DIR`` (default the current
+directory) controls where the artifacts land.
 """
 
 import os
+import time
 
 import pytest
+
+from repro.obs import BenchArtifact
 
 
 def bench_scale() -> float:
@@ -18,6 +26,10 @@ def bench_scale() -> float:
 
 def bench_seed() -> int:
     return int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+
+def bench_dir() -> str:
+    return os.environ.get("REPRO_BENCH_DIR", ".")
 
 
 @pytest.fixture(scope="session")
@@ -30,9 +42,35 @@ def seed() -> int:
     return bench_seed()
 
 
-def run_once(benchmark, fn):
+@pytest.fixture()
+def artifact(request):
+    """A ``BenchArtifact`` for the current test, written on teardown.
+
+    The artifact name is the test name minus its ``test_bench_`` prefix,
+    so ``test_bench_table1`` produces ``BENCH_table1.json``.
+    """
+    name = request.node.name
+    for prefix in ("test_bench_", "test_"):
+        if name.startswith(prefix):
+            name = name[len(prefix):]
+            break
+    art = BenchArtifact(name=name, scale=bench_scale(), seed=bench_seed())
+    yield art
+    art.write(bench_dir())
+
+
+def run_once(benchmark, fn, artifact=None):
     """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+    if artifact is None:
+        return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+    def timed_fn():
+        t0 = time.perf_counter()
+        result = fn()
+        artifact.time("wall_seconds", time.perf_counter() - t0)
+        return result
+
+    return benchmark.pedantic(timed_fn, rounds=1, iterations=1, warmup_rounds=0)
 
 
 @pytest.fixture()

@@ -5,12 +5,13 @@ from conftest import run_once
 from repro.experiments.ablations import render_ablations, run_all_ablations
 
 
-def test_bench_ablations(benchmark, scale, seed, report):
+def test_bench_ablations(benchmark, scale, seed, report, artifact):
     results = run_once(
-        benchmark, lambda: run_all_ablations(scale=scale, seed=seed)
+        benchmark, lambda: run_all_ablations(scale=scale, seed=seed), artifact
     )
     report(render_ablations(results))
     by_name = {r.name: r for r in results}
+    artifact.record(**{r.name: round(r.ratio, 4) for r in results})
 
     # order-1 is sufficient: order-2 adds little (paper §4.3)
     assert by_name["itemset order (weak labels)"].ratio > 0.85

@@ -66,8 +66,9 @@ def _run(scale: float, seed: int) -> dict[str, float]:
     }
 
 
-def test_bench_extensions(benchmark, scale, seed, report):
-    results = run_once(benchmark, lambda: _run(scale, seed))
+def test_bench_extensions(benchmark, scale, seed, report, artifact):
+    results = run_once(benchmark, lambda: _run(scale, seed), artifact)
+    artifact.record(**{k: round(v, 4) for k, v in results.items()})
     report(
         render_table(
             ["variant", "AUPRC"],

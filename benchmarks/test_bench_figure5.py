@@ -6,12 +6,19 @@ from conftest import run_once
 from repro.experiments.end_to_end import run_figure5
 
 
-def test_bench_figure5(benchmark, scale, seed, report):
+def test_bench_figure5(benchmark, scale, seed, report, artifact):
     result = run_once(
         benchmark,
         lambda: run_figure5(scale=scale, seed=seed, n_model_seeds=2),
+        artifact,
     )
     report(result.render())
+    artifact.record(
+        cross_modal_full=round(result.cross_modal_full, 4),
+        cross_modal_servable=round(result.cross_modal_servable, 4),
+        crossover_full=result.crossover_full,
+        crossover_servable=result.crossover_servable,
+    )
 
     # shape: the supervised curve eventually rises toward/past the
     # cross-modal line (learning curves slope upward)

@@ -6,11 +6,17 @@ from conftest import run_once
 from repro.experiments.factor_analysis import run_figure6
 
 
-def test_bench_figure6(benchmark, scale, seed, report):
+def test_bench_figure6(benchmark, scale, seed, report, artifact):
     result = run_once(
-        benchmark, lambda: run_figure6(scale=scale, seed=seed, n_model_seeds=2)
+        benchmark,
+        lambda: run_figure6(scale=scale, seed=seed, n_model_seeds=2),
+        artifact,
     )
     report(result.render())
+    artifact.record(
+        first_relative_auprc=round(result.relative_auprc[0], 4),
+        last_relative_auprc=round(result.relative_auprc[-1], 4),
+    )
 
     values = result.relative_auprc
     # shape: adding resources grows AUPRC overall (last step well above

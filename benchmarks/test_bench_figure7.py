@@ -5,11 +5,17 @@ from conftest import run_once
 from repro.experiments.lesion import run_figure7
 
 
-def test_bench_figure7(benchmark, scale, seed, report):
+def test_bench_figure7(benchmark, scale, seed, report, artifact):
     result = run_once(
-        benchmark, lambda: run_figure7(scale=scale, seed=seed, n_model_seeds=2)
+        benchmark,
+        lambda: run_figure7(scale=scale, seed=seed, n_model_seeds=2),
+        artifact,
     )
     report(result.render())
+    artifact.record(
+        combined_wins=result.combined_wins(),
+        combined_last=round(result.combined[-1], 4),
+    )
 
     # shape: combining modalities is at or near the best single
     # modality at most feature levels (paper: better at all four)

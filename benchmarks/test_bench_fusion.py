@@ -6,11 +6,19 @@ from conftest import run_once
 from repro.experiments.fusion_ablation import run_fusion_ablation
 
 
-def test_bench_fusion(benchmark, scale, seed, report):
+def test_bench_fusion(benchmark, scale, seed, report, artifact):
     result = run_once(
-        benchmark, lambda: run_fusion_ablation("CT1", scale=scale, seed=seed)
+        benchmark,
+        lambda: run_fusion_ablation("CT1", scale=scale, seed=seed),
+        artifact,
     )
     report(result.render())
+    artifact.record(
+        early_vs_intermediate=round(result.early_vs_intermediate, 4),
+        early_vs_devise=round(result.early_vs_devise, 4),
+        services_vs_generic=round(result.services_vs_generic, 4),
+        org_vs_generic=round(result.org_vs_generic, 4),
+    )
 
     # shape: early fusion >= intermediate fusion >= DeViSE (paper's
     # ordering, with slack for run noise)

@@ -5,11 +5,18 @@ from conftest import run_once
 from repro.experiments.lf_comparison import run_lf_comparison
 
 
-def test_bench_lf_generation(benchmark, scale, seed, report):
+def test_bench_lf_generation(benchmark, scale, seed, report, artifact):
     result = run_once(
-        benchmark, lambda: run_lf_comparison(scale=scale, seed=seed)
+        benchmark,
+        lambda: run_lf_comparison(scale=scale, seed=seed),
+        artifact,
     )
     report(result.render())
+    artifact.record(
+        speedup=round(result.speedup, 4),
+        mined_f1=round(result.mined.f1, 4),
+        expert_f1=round(result.expert.f1, 4),
+    )
 
     # shape: the automatic path is faster than the expert
     assert result.speedup > 1.0

@@ -5,9 +5,15 @@ from conftest import run_once
 from repro.experiments.table1 import PAPER_TABLE1, run_table1
 
 
-def test_bench_table1(benchmark, scale, seed, report):
-    result = run_once(benchmark, lambda: run_table1(scale=scale, seed=seed))
+def test_bench_table1(benchmark, scale, seed, report, artifact):
+    result = run_once(
+        benchmark, lambda: run_table1(scale=scale, seed=seed), artifact
+    )
     report(result.render())
+    artifact.record(
+        n_tasks=len(result.rows),
+        **{f"{task}_pct_pos": row["pct_pos"] for task, row in result.rows.items()},
+    )
 
     # shape: per-task positive rates track the paper's Table 1
     for task, row in result.rows.items():

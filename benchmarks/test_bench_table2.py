@@ -6,12 +6,16 @@ from conftest import run_once
 from repro.experiments.end_to_end import run_table2
 
 
-def test_bench_table2(benchmark, scale, seed, report):
+def test_bench_table2(benchmark, scale, seed, report, artifact):
     result = run_once(
         benchmark,
         lambda: run_table2(scale=scale, seed=seed, n_model_seeds=2),
+        artifact,
     )
     report(result.render())
+    artifact.record(
+        **{f"{t.task}_cross_relative": round(t.cross_relative, 4) for t in result.tasks}
+    )
 
     crosses_above_single = 0
     beats_baseline = 0

@@ -6,12 +6,17 @@ from conftest import run_once
 from repro.experiments.label_prop import run_table3
 
 
-def test_bench_table3(benchmark, scale, seed, report):
+def test_bench_table3(benchmark, scale, seed, report, artifact):
     result = run_once(
         benchmark,
         lambda: run_table3(scale=scale, seed=seed, n_model_seeds=2),
+        artifact,
     )
     report(result.render())
+    artifact.record(
+        max_f1_ratio=round(max(row.f1_ratio for row in result.rows), 4),
+        max_recall_ratio=round(max(row.recall_ratio for row in result.rows), 4),
+    )
 
     # shape: propagation never hurts F1 much and helps somewhere
     f1_ratios = [row.f1_ratio for row in result.rows]

@@ -20,11 +20,11 @@ pipeline at their step (the paper's production requirement §2.3);
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.config import PipelineConfig
 from repro.core.exceptions import ConfigurationError
 from repro.core.rng import derive_seed, spawn
@@ -470,26 +470,32 @@ class CrossModalPipeline:
         return metrics, scores
 
     def run(self, splits: CorpusSplits) -> PipelineResult:
-        """Full pipeline: featurize -> curate -> train -> evaluate."""
+        """Full pipeline: featurize -> curate -> train -> evaluate.
+
+        Each step runs inside an :mod:`repro.obs` span of the same name,
+        so a traced run (``obs.enable()``) exports the full nested tree;
+        ``PipelineResult.timings`` is populated either way.
+        """
         timings: dict[str, float] = {}
 
-        t0 = time.perf_counter()
-        text_table = self.featurize(splits.text_labeled, include_labels=True)
-        image_table = self.featurize(splits.image_unlabeled, include_labels=False)
-        test_table = self.featurize(splits.image_test, include_labels=True)
-        timings["featurize"] = time.perf_counter() - t0
+        with obs.timed("featurize", task=self.task.name) as t:
+            text_table = self.featurize(splits.text_labeled, include_labels=True)
+            image_table = self.featurize(splits.image_unlabeled, include_labels=False)
+            test_table = self.featurize(splits.image_test, include_labels=True)
+        timings["featurize"] = t.duration
 
-        t0 = time.perf_counter()
-        curation = self.curate(text_table, image_table)
-        timings["curate"] = time.perf_counter() - t0
+        with obs.timed("curate", task=self.task.name) as t:
+            curation = self.curate(text_table, image_table)
+            t.span.add_counter("n_lfs", len(curation.lfs))
+        timings["curate"] = t.duration
 
-        t0 = time.perf_counter()
-        model = self.train(text_table, curation)
-        timings["train"] = time.perf_counter() - t0
+        with obs.timed("train", task=self.task.name) as t:
+            model = self.train(text_table, curation)
+        timings["train"] = t.duration
 
-        t0 = time.perf_counter()
-        metrics, scores = self.evaluate(model, test_table)
-        timings["evaluate"] = time.perf_counter() - t0
+        with obs.timed("evaluate", task=self.task.name) as t:
+            metrics, scores = self.evaluate(model, test_table)
+        timings["evaluate"] = t.duration
 
         return PipelineResult(
             metrics=metrics,

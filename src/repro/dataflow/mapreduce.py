@@ -34,6 +34,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, TypeVar
 
+import repro.obs as obs
 from repro.core.exceptions import ConfigurationError, RecordError
 
 __all__ = ["MapReduceJob", "run_mapreduce", "run_map"]
@@ -103,37 +104,46 @@ class MapReduceJob:
         return parts
 
     def _map_partition(
-        self, partition: list[tuple[int, Any]]
+        self, partition: list[tuple[int, Any]], partition_index: int = 0
     ) -> tuple[dict[Key, list[Any]], Counter]:
         """Map one partition; returns (grouped output, local counters).
 
         Local counters are merged by the coordinator after all
-        partitions finish, so no counts are lost to thread races.
+        partitions finish, so no counts are lost to thread races.  A
+        traced run gets one span per partition (attached to the tracer
+        root when mapped on a worker thread) carrying those counters.
         """
-        counts: Counter = Counter()
-        grouped: dict[Key, list[Any]] = defaultdict(list)
-        for index, record in partition:
-            ok, pairs = _call_with_retries(
-                lambda r: list(self.mapper(r)),
-                record,
-                index,
-                self.record_retries,
-                self.skip_bad_records,
-                counts,
-            )
-            if not ok:
-                continue
-            counts["records_mapped"] += 1
-            for key, value in pairs:
-                grouped[key].append(value)
-                counts["map_output_values"] += 1
-        if self.combiner is not None:
-            combined: dict[Key, list[Any]] = {}
-            for key, values in grouped.items():
-                counts["combiner_values_in"] += len(values)
-                combined[key] = list(self.combiner(key, values))
-                counts["combiner_values_out"] += len(combined[key])
-            grouped = combined
+        with obs.span(
+            "mapreduce.partition",
+            partition=partition_index,
+            n_records=len(partition),
+        ) as sp:
+            counts: Counter = Counter()
+            grouped: dict[Key, list[Any]] = defaultdict(list)
+            for index, record in partition:
+                ok, pairs = _call_with_retries(
+                    lambda r: list(self.mapper(r)),
+                    record,
+                    index,
+                    self.record_retries,
+                    self.skip_bad_records,
+                    counts,
+                )
+                if not ok:
+                    continue
+                counts["records_mapped"] += 1
+                for key, value in pairs:
+                    grouped[key].append(value)
+                    counts["map_output_values"] += 1
+            if self.combiner is not None:
+                combined: dict[Key, list[Any]] = {}
+                for key, values in grouped.items():
+                    counts["combiner_values_in"] += len(values)
+                    combined[key] = list(self.combiner(key, values))
+                    counts["combiner_values_out"] += len(combined[key])
+                grouped = combined
+            for name, value in counts.items():
+                sp.add_counter(name, value)
         return grouped, counts
 
     def run(self, records: Sequence[Any]) -> dict[Key, Any]:
@@ -141,13 +151,39 @@ class MapReduceJob:
         partitions = self._partitions(list(records))
         self.counters["input_records"] = len(records)
 
-        if self.n_threads == 1 or len(partitions) == 1:
-            results = [self._map_partition(p) for p in partitions]
-        else:
-            with ThreadPoolExecutor(max_workers=self.n_threads) as pool:
-                results = list(pool.map(self._map_partition, partitions))
-        mapped = [grouped for grouped, _ in results]
+        with obs.span(
+            "mapreduce.job",
+            n_records=len(records),
+            n_partitions=len(partitions),
+            n_threads=self.n_threads,
+        ) as job_span:
+            if self.n_threads == 1 or len(partitions) == 1:
+                results = [
+                    self._map_partition(p, i) for i, p in enumerate(partitions)
+                ]
+            else:
+                with ThreadPoolExecutor(max_workers=self.n_threads) as pool:
+                    results = list(
+                        pool.map(
+                            lambda ip: self._map_partition(ip[1], ip[0]),
+                            enumerate(partitions),
+                        )
+                    )
+            mapped = [grouped for grouped, _ in results]
+            output = self._shuffle_and_reduce(results, mapped)
+            # per-record counters already live on the partition spans;
+            # the job span carries only the job-level ones so totals
+            # over the tree don't double-count
+            for name in ("input_records", "distinct_keys", "reduced_keys"):
+                job_span.add_counter(name, self.counters[name])
+        return output
 
+    def _shuffle_and_reduce(
+        self,
+        results: list[tuple[dict[Key, list[Any]], Counter]],
+        mapped: list[dict[Key, list[Any]]],
+    ) -> dict[Key, Any]:
+        """Counter aggregation, shuffle, and the reduce phase."""
         # aggregate per-partition counters on the coordinating thread
         totals: Counter = Counter()
         for _, counts in results:
@@ -230,15 +266,18 @@ def run_map(
         return value, local
 
     indexed = list(enumerate(records))
-    if n_threads == 1 or len(records) < 2:
-        results = [_one(pair) for pair in indexed]
-    else:
-        with ThreadPoolExecutor(max_workers=n_threads) as pool:
-            results = list(pool.map(_one, indexed))
-    if counters is not None:
-        totals: Counter = Counter()
-        for _, local in results:
-            totals.update(local)
-        for name in ("records_mapped", "failed_records", "retried_records"):
-            counters[name] = totals.get(name, 0)
+    with obs.span("mapreduce.map", n_records=len(records), n_threads=n_threads) as sp:
+        if n_threads == 1 or len(records) < 2:
+            results = [_one(pair) for pair in indexed]
+        else:
+            with ThreadPoolExecutor(max_workers=n_threads) as pool:
+                results = list(pool.map(_one, indexed))
+        if counters is not None or obs.enabled():
+            totals: Counter = Counter()
+            for _, local in results:
+                totals.update(local)
+            for name in ("records_mapped", "failed_records", "retried_records"):
+                sp.add_counter(name, totals.get(name, 0))
+                if counters is not None:
+                    counters[name] = totals.get(name, 0)
     return [value for value, _ in results]

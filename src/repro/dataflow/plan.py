@@ -10,11 +10,11 @@ resumed from any stage with a substituted artifact.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
+import repro.obs as obs
 from repro.core.exceptions import ConfigurationError
 
 __all__ = ["Stage", "StagePlan", "PlanRun"]
@@ -75,9 +75,9 @@ class StagePlan:
                     value = injected
                 else:
                     continue
-            t0 = time.perf_counter()
-            value = stage.fn(value)
-            run.timings[stage.name] = time.perf_counter() - t0
+            with obs.timed(f"plan.{stage.name}") as t:
+                value = stage.fn(value)
+            run.timings[stage.name] = t.duration
             run.artifacts[stage.name] = value
         if not started:
             raise ConfigurationError(f"stage {start_at!r} not found in plan")

@@ -12,18 +12,29 @@ Regenerate any of the paper's tables/figures from the shell:
     python -m repro.experiments lf
     python -m repro.experiments ablations
     python -m repro.experiments chaos
+    python -m repro.experiments end_to_end
     python -m repro.experiments all
+
+Observability (see DESIGN.md "Observability"):
+
+    --trace out.json   activate the tracer and export the full span
+                       tree (nested spans, counters, gauges, latency
+                       histograms) as JSON
+    --profile          print a human-readable span-tree summary after
+                       the experiments finish
+
+    python -m repro.experiments end_to_end --trace trace.json --profile
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
+import repro.obs as obs
 from repro.experiments.ablations import render_ablations, run_all_ablations
 from repro.experiments.chaos import run_chaos
-from repro.experiments.end_to_end import run_figure5, run_table2
+from repro.experiments.end_to_end import run_end_to_end, run_figure5, run_table2
 from repro.experiments.factor_analysis import run_figure6
 from repro.experiments.fusion_ablation import run_fusion_ablation
 from repro.experiments.label_prop import run_table3
@@ -33,7 +44,7 @@ from repro.experiments.table1 import run_table1
 
 _EXPERIMENTS = (
     "table1", "table2", "table3", "figure5", "figure6", "figure7",
-    "fusion", "lf", "ablations", "chaos",
+    "fusion", "lf", "ablations", "chaos", "end_to_end",
 )
 
 
@@ -69,6 +80,9 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
     if name == "chaos":
         return run_chaos(scale=scale, seed=seed,
                          n_model_seeds=args.model_seeds).render()
+    if name == "end_to_end":
+        task = (args.tasks or ["CT1"])[0]
+        return run_end_to_end(task=task, scale=scale, seed=seed).render()
     raise ValueError(f"unknown experiment {name!r}")
 
 
@@ -87,14 +101,34 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--model-seeds", type=int, default=2,
                         help="model seeds averaged per measurement")
     parser.add_argument("--tasks", nargs="*", default=None,
-                        help="task subset for table2/table3 (e.g. CT1 CT3)")
+                        help="task subset for table2/table3/end_to_end "
+                             "(e.g. CT1 CT3)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="activate tracing and write the span tree "
+                             "as JSON to PATH")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a span-tree summary after the run")
     args = parser.parse_args(argv)
 
+    tracer = None
+    if args.trace or args.profile:
+        tracer = obs.enable(obs.Tracer("experiments"))
+
     names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        t0 = time.perf_counter()
-        print(_run_one(name, args))
-        print(f"[{name}: {time.perf_counter() - t0:.1f}s]\n")
+    try:
+        for name in names:
+            with obs.timed(f"experiment.{name}") as t:
+                print(_run_one(name, args))
+            print(f"[{name}: {t.duration:.1f}s]\n")
+        if tracer is not None:
+            if args.profile:
+                print(obs.format_trace(tracer))
+            if args.trace:
+                path = tracer.write_json(args.trace)
+                print(f"[trace written to {path}]")
+    finally:
+        if tracer is not None:
+            obs.disable()
     return 0
 
 

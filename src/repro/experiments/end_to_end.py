@@ -33,9 +33,11 @@ __all__ = [
     "TaskEndToEnd",
     "Table2Result",
     "Figure5Result",
+    "EndToEndRun",
     "run_task_end_to_end",
     "run_table2",
     "run_figure5",
+    "run_end_to_end",
     "PAPER_TABLE2",
     "default_budgets",
 ]
@@ -161,6 +163,68 @@ def run_table2(
         ctx = ExperimentContext(task_name=task_name, scale=scale, seed=seed)
         results.append(run_task_end_to_end(ctx, budgets, n_model_seeds))
     return Table2Result(tasks=results, scale=scale, seed=seed)
+
+
+@dataclass
+class EndToEndRun:
+    """One full :meth:`CrossModalPipeline.run` plus its headline
+    numbers — the cheapest way to see (and trace) every pipeline layer
+    working together."""
+
+    task: str
+    metrics: dict[str, float]
+    timings: dict[str, float]
+    n_lfs: int
+    coverage: float
+    scale: float
+    seed: int
+
+    def render(self) -> str:
+        lines = [
+            f"end-to-end pipeline run — {self.task} "
+            f"(scale={self.scale}, seed={self.seed})",
+            f"  labeling functions: {self.n_lfs} "
+            f"(coverage {self.coverage:.2f})",
+        ]
+        for key in ("auprc", "f1@0.5", "positive_rate", "n_test"):
+            if key in self.metrics:
+                lines.append(f"  {key}: {self.metrics[key]:.4g}")
+        lines.append(
+            "  timings: "
+            + ", ".join(f"{k} {v:.1f}s" for k, v in self.timings.items())
+        )
+        return "\n".join(lines)
+
+
+def run_end_to_end(
+    task: str = "CT1", scale: float = 0.4, seed: int = 1
+) -> EndToEndRun:
+    """Run the full pipeline (featurize -> curate -> train -> evaluate)
+    once on one task.
+
+    Under ``--trace`` this produces the canonical nested trace: one span
+    per pipeline step, with per-service featurization counters and
+    latency histograms inside the featurize subtree.
+    """
+    from repro.core.config import PipelineConfig
+    from repro.core.pipeline import CrossModalPipeline
+    from repro.datagen.tasks import classification_task, generate_task_corpora
+    from repro.resources.service_sets import build_resource_suite
+
+    task_config = classification_task(task)
+    world, task_rt, splits = generate_task_corpora(task_config, scale=scale, seed=seed)
+    catalog = build_resource_suite(world, task_rt, n_history=10_000, seed=seed)
+    pipeline = CrossModalPipeline(world, task_rt, catalog, PipelineConfig(seed=seed))
+    result = pipeline.run(splits)
+    return EndToEndRun(
+        task=task,
+        metrics=result.metrics,
+        timings=result.timings,
+        n_lfs=len(result.curation.lfs),
+        coverage=result.curation.label_matrix.coverage(),
+        scale=scale,
+        seed=seed,
+    )
 
 
 @dataclass

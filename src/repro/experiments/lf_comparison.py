@@ -15,11 +15,11 @@ representative comparison, as in the paper.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
+import repro.obs as obs
 from repro.experiments.common import ExperimentContext, model_auprc, train_table_model
 from repro.experiments.reporting import render_table
 from repro.labeling.analysis import weak_label_quality
@@ -178,11 +178,11 @@ def run_lf_comparison(
 
     # --- automatic ----------------------------------------------------
     generator = MinedLFGenerator()
-    t0 = time.perf_counter()
-    mined_lfs = generator.generate(
-        dev_table.select_features(lf_features), features=lf_features
-    )
-    mining_seconds = time.perf_counter() - t0
+    with obs.timed("lf_comparison.mine") as t:
+        mined_lfs = generator.generate(
+            dev_table.select_features(lf_features), features=lf_features
+        )
+    mining_seconds = t.duration
     # The paper bills the automatic path at wall-clock on production
     # infrastructure (14 min of mining over tens of millions of rows).
     # We report the hours a single machine would need at the paper's

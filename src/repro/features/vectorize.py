@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.exceptions import NotFittedError, SchemaError
 from repro.features.schema import FeatureKind, FeatureSchema
 from repro.features.table import MISSING, FeatureTable
@@ -91,12 +92,20 @@ class Vectorizer:
         for value in col:
             if value is not MISSING:
                 counts.update(value)  # type: ignore[arg-type]
-        most_common = [
-            token
-            for token, count in counts.most_common(self.max_vocab)
-            if count >= self.min_count
-        ]
-        self._vocab[name] = {token: i for i, token in enumerate(sorted(most_common))}
+        # min_count filter BEFORE the vocab cap, and a deterministic
+        # (-count, token) order: the cap keeps the most frequent
+        # eligible tokens, with ties broken lexicographically so the
+        # vocab is invariant under corpus row order.
+        eligible = sorted(
+            (
+                (token, count)
+                for token, count in counts.items()
+                if count >= self.min_count
+            ),
+            key=lambda tc: (-tc[1], tc[0]),
+        )
+        kept = [token for token, _ in eligible[: self.max_vocab]]
+        self._vocab[name] = {token: i for i, token in enumerate(sorted(kept))}
         return len(self._vocab[name])
 
     def _fit_numeric(self, name: str, col: list[object]) -> int:
@@ -158,47 +167,57 @@ class Vectorizer:
         """
         if self._slices is None:
             raise NotFittedError("Vectorizer.fit has not been called")
-        out = np.zeros((table.n_rows, self._n_columns), dtype=np.float32)
-        for sl in self._slices:
-            if sl.name not in table.schema:
-                continue
-            spec = self.schema[sl.name]
-            col = table.column(sl.name)
-            value_stop = sl.stop - (1 if self.add_presence else 0)
-            if spec.kind is FeatureKind.CATEGORICAL:
-                vocab = self._vocab[sl.name]
-                for i, value in enumerate(col):
-                    if value is MISSING:
-                        continue
-                    for token in value:  # type: ignore[union-attr]
-                        j = vocab.get(token)
-                        if j is not None:
-                            out[i, sl.start + j] = 1.0
-                    if self.add_presence:
-                        out[i, value_stop] = 1.0
-            elif spec.kind is FeatureKind.NUMERIC:
-                mean, std = self._numeric_stats[sl.name]
-                for i, value in enumerate(col):
-                    if value is MISSING:
-                        continue
-                    out[i, sl.start] = (float(value) - mean) / std  # type: ignore[arg-type]
-                    if self.add_presence:
-                        out[i, value_stop] = 1.0
-            else:
-                mean_vec, std_vec = self._embedding_stats[sl.name]
-                dim = self._embedding_dim[sl.name]
-                for i, value in enumerate(col):
-                    if value is MISSING:
-                        continue
-                    vec = np.asarray(value, dtype=float)
-                    if vec.shape[0] != dim:
-                        raise SchemaError(
-                            f"embedding {sl.name!r} has dim {vec.shape[0]}, "
-                            f"expected {dim}"
-                        )
-                    out[i, sl.start:value_stop] = (vec - mean_vec) / std_vec
-                    if self.add_presence:
-                        out[i, value_stop] = 1.0
+        with obs.span(
+            "vectorize.transform", n_rows=table.n_rows, n_columns=self._n_columns
+        ) as sp:
+            out = np.zeros((table.n_rows, self._n_columns), dtype=np.float32)
+            for sl in self._slices:
+                if sl.name not in table.schema:
+                    continue
+                spec = self.schema[sl.name]
+                incoming_kind = table.schema[sl.name].kind
+                if incoming_kind is not spec.kind:
+                    raise SchemaError(
+                        f"feature {sl.name!r} was fit as {spec.kind.name} but the "
+                        f"incoming table declares it {incoming_kind.name}"
+                    )
+                col = table.column(sl.name)
+                value_stop = sl.stop - (1 if self.add_presence else 0)
+                present = np.fromiter(
+                    (v is not MISSING for v in col), dtype=bool, count=len(col)
+                )
+                if spec.kind is FeatureKind.CATEGORICAL:
+                    vocab = self._vocab[sl.name]
+                    for i in np.flatnonzero(present):
+                        for token in col[i]:  # type: ignore[union-attr]
+                            j = vocab.get(token)
+                            if j is not None:
+                                out[i, sl.start + j] = 1.0
+                elif spec.kind is FeatureKind.NUMERIC:
+                    mean, std = self._numeric_stats[sl.name]
+                    values = np.fromiter(
+                        (float(col[i]) for i in np.flatnonzero(present)),  # type: ignore[arg-type]
+                        dtype=float,
+                        count=int(present.sum()),
+                    )
+                    out[present, sl.start] = (values - mean) / std
+                else:
+                    mean_vec, std_vec = self._embedding_stats[sl.name]
+                    dim = self._embedding_dim[sl.name]
+                    rows_idx = np.flatnonzero(present)
+                    if rows_idx.size:
+                        vecs = [np.asarray(col[i], dtype=float) for i in rows_idx]
+                        for vec in vecs:
+                            if vec.shape[0] != dim:
+                                raise SchemaError(
+                                    f"embedding {sl.name!r} has dim {vec.shape[0]}, "
+                                    f"expected {dim}"
+                                )
+                        block = (np.stack(vecs) - mean_vec) / std_vec
+                        out[rows_idx, sl.start:value_stop] = block
+                if self.add_presence:
+                    out[present, value_stop] = 1.0
+            sp.add_counter("cells", int(out.shape[0]) * int(out.shape[1]))
         return out
 
     def fit_transform(self, table: FeatureTable) -> np.ndarray:

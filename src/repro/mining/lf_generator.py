@@ -21,12 +21,12 @@ The generator also records a wall-clock measurement, which feeds the
 
 from __future__ import annotations
 
-import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.exceptions import MiningError
 from repro.features.schema import FeatureKind
 from repro.features.table import MISSING, FeatureTable
@@ -161,23 +161,26 @@ class MinedLFGenerator:
         ]
         numeric = [n for n in features if schema[n].kind is FeatureKind.NUMERIC]
 
-        t0 = time.perf_counter()
         report = MiningReport()
-        positive_lfs = self._mine_positive(
-            dev_table, labels, categorical, report
-        )
-        negative_lfs = self._mine_negative(
-            dev_table, labels, categorical, report
-        )
-        pos_numeric, neg_numeric = self._mine_numeric(
-            dev_table, labels, numeric, report
-        )
-        positive_lfs.extend(pos_numeric)
-        negative_lfs.extend(neg_numeric)
+        with obs.timed("mining.lf_generation", n_rows=dev_table.n_rows) as t:
+            positive_lfs = self._mine_positive(
+                dev_table, labels, categorical, report
+            )
+            negative_lfs = self._mine_negative(
+                dev_table, labels, categorical, report
+            )
+            pos_numeric, neg_numeric = self._mine_numeric(
+                dev_table, labels, numeric, report
+            )
+            positive_lfs.extend(pos_numeric)
+            negative_lfs.extend(neg_numeric)
 
-        report.n_positive_lfs = len(positive_lfs)
-        report.n_negative_lfs = len(negative_lfs)
-        report.wall_clock_seconds = time.perf_counter() - t0
+            report.n_positive_lfs = len(positive_lfs)
+            report.n_negative_lfs = len(negative_lfs)
+            t.span.add_counter("candidates", report.n_candidates_considered)
+            t.span.add_counter("lfs_positive", report.n_positive_lfs)
+            t.span.add_counter("lfs_negative", report.n_negative_lfs)
+        report.wall_clock_seconds = t.duration
         self.report_ = report
         return positive_lfs + negative_lfs
 

@@ -19,11 +19,11 @@ reports both wall-clocks side by side.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.exceptions import MiningError
 from repro.features.schema import FeatureKind
 from repro.features.table import MISSING, FeatureTable
@@ -211,43 +211,46 @@ class SnubaGenerator:
         ]
         numeric = [f for f in features if schema[f].kind is FeatureKind.NUMERIC]
 
-        t0 = time.perf_counter()
-        candidates = self._categorical_candidates(dev_table, labels, categorical)
-        candidates.extend(self._numeric_candidates(dev_table, labels, numeric))
-        report = SnubaReport(
-            n_candidates=len(candidates), objective_trace=[]
-        )
+        with obs.timed("mining.snuba", n_rows=dev_table.n_rows) as t:
+            candidates = self._categorical_candidates(dev_table, labels, categorical)
+            candidates.extend(self._numeric_candidates(dev_table, labels, numeric))
+            report = SnubaReport(
+                n_candidates=len(candidates), objective_trace=[]
+            )
 
-        selected: list[_Candidate] = []
-        committee_votes = np.zeros(dev_table.n_rows, dtype=np.int8)
-        best_objective = 0.0
-        remaining = list(candidates)
-        while remaining and len(selected) < self.max_heuristics:
-            report.n_rounds += 1
-            # Snuba's expensive step: every remaining candidate is
-            # *trial-merged* into the committee and the full objective
-            # recomputed (this re-scoring loop is the cost the paper's
-            # §4.3 declined to pay)
-            best_index = -1
-            best_trial = best_objective
-            for index, candidate in enumerate(remaining):
-                trial_votes = committee_votes.copy()
-                untouched = trial_votes == 0
-                trial_votes[untouched] = candidate.votes[untouched]
-                objective = self._macro_f1(trial_votes, signed)
-                if objective > best_trial + 1e-9:
-                    best_trial = objective
-                    best_index = index
-            if best_index < 0:
-                break  # no candidate improves the committee
-            candidate = remaining.pop(best_index)
-            untouched = committee_votes == 0
-            committee_votes[untouched] = candidate.votes[untouched]
-            best_objective = best_trial
-            report.objective_trace.append(best_objective)
-            selected.append(candidate)
+            selected: list[_Candidate] = []
+            committee_votes = np.zeros(dev_table.n_rows, dtype=np.int8)
+            best_objective = 0.0
+            remaining = list(candidates)
+            while remaining and len(selected) < self.max_heuristics:
+                report.n_rounds += 1
+                # Snuba's expensive step: every remaining candidate is
+                # *trial-merged* into the committee and the full objective
+                # recomputed (this re-scoring loop is the cost the paper's
+                # §4.3 declined to pay)
+                best_index = -1
+                best_trial = best_objective
+                for index, candidate in enumerate(remaining):
+                    trial_votes = committee_votes.copy()
+                    untouched = trial_votes == 0
+                    trial_votes[untouched] = candidate.votes[untouched]
+                    objective = self._macro_f1(trial_votes, signed)
+                    if objective > best_trial + 1e-9:
+                        best_trial = objective
+                        best_index = index
+                if best_index < 0:
+                    break  # no candidate improves the committee
+                candidate = remaining.pop(best_index)
+                untouched = committee_votes == 0
+                committee_votes[untouched] = candidate.votes[untouched]
+                best_objective = best_trial
+                report.objective_trace.append(best_objective)
+                selected.append(candidate)
 
-        report.n_selected = len(selected)
-        report.wall_clock_seconds = time.perf_counter() - t0
+            report.n_selected = len(selected)
+            t.span.add_counter("candidates", report.n_candidates)
+            t.span.add_counter("rounds", report.n_rounds)
+            t.span.add_counter("selected", report.n_selected)
+        report.wall_clock_seconds = t.duration
         self.report_ = report
         return [candidate.lf for candidate in selected]

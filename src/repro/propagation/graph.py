@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy import sparse
 
+import repro.obs as obs
 from repro.core.exceptions import GraphError
 from repro.features.distance import numeric_ranges
 from repro.features.schema import FeatureKind
@@ -205,41 +206,47 @@ def build_knn_graph(
     if n < 2:
         raise GraphError(f"need at least 2 nodes to build a graph, got {n}")
     k = min(config.k, n - 1)
-    channels = _build_channels(table, config)
-    if not channels:
-        raise GraphError("no features available for graph construction")
+    with obs.span("graph.build_knn", n_nodes=n, k=k) as sp:
+        channels = _build_channels(table, config)
+        if not channels:
+            raise GraphError("no features available for graph construction")
+        sp.set_gauge("n_features", len(channels))
 
-    rows_out: list[np.ndarray] = []
-    cols_out: list[np.ndarray] = []
-    weights_out: list[np.ndarray] = []
-    for start in range(0, n, config.block_size):
-        stop = min(start + config.block_size, n)
-        block = slice(start, stop)
-        b = stop - start
-        numerator = np.zeros((b, n), dtype=np.float32)
-        denominator = np.zeros((b, n), dtype=np.float32)
-        for channel in channels:
-            channel.accumulate(block, numerator, denominator)
-        with np.errstate(invalid="ignore", divide="ignore"):
-            sim = np.where(denominator > 0, numerator / denominator, 0.0)
-        # no self-loops
-        for i in range(b):
-            sim[i, start + i] = -1.0
-        top = np.argpartition(-sim, kth=k - 1, axis=1)[:, :k]
-        block_rows = np.repeat(np.arange(start, stop), k)
-        block_cols = top.ravel()
-        block_weights = sim[np.arange(b)[:, None], top].ravel()
-        keep = block_weights >= config.min_weight
-        rows_out.append(block_rows[keep])
-        cols_out.append(block_cols[keep])
-        weights_out.append(block_weights[keep].astype(np.float64))
+        rows_out: list[np.ndarray] = []
+        cols_out: list[np.ndarray] = []
+        weights_out: list[np.ndarray] = []
+        for start in range(0, n, config.block_size):
+            stop = min(start + config.block_size, n)
+            block = slice(start, stop)
+            b = stop - start
+            numerator = np.zeros((b, n), dtype=np.float32)
+            denominator = np.zeros((b, n), dtype=np.float32)
+            for channel in channels:
+                channel.accumulate(block, numerator, denominator)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                sim = np.where(denominator > 0, numerator / denominator, 0.0)
+            # no self-loops
+            for i in range(b):
+                sim[i, start + i] = -1.0
+            top = np.argpartition(-sim, kth=k - 1, axis=1)[:, :k]
+            block_rows = np.repeat(np.arange(start, stop), k)
+            block_cols = top.ravel()
+            block_weights = sim[np.arange(b)[:, None], top].ravel()
+            keep = block_weights >= config.min_weight
+            sp.add_counter("blocks", 1)
+            sp.add_counter("edges_below_min_weight", int((~keep).sum()))
+            rows_out.append(block_rows[keep])
+            cols_out.append(block_cols[keep])
+            weights_out.append(block_weights[keep].astype(np.float64))
 
-    rows = np.concatenate(rows_out)
-    cols = np.concatenate(cols_out)
-    weights = np.concatenate(weights_out)
-    adjacency = sparse.csr_matrix((weights, (rows, cols)), shape=(n, n))
-    # symmetrize with max weight per pair
-    adjacency = adjacency.maximum(adjacency.T)
-    adjacency.setdiag(0.0)
-    adjacency.eliminate_zeros()
-    return SimilarityGraph(adjacency=adjacency.tocsr(), n_nodes=n)
+        rows = np.concatenate(rows_out)
+        cols = np.concatenate(cols_out)
+        weights = np.concatenate(weights_out)
+        adjacency = sparse.csr_matrix((weights, (rows, cols)), shape=(n, n))
+        # symmetrize with max weight per pair
+        adjacency = adjacency.maximum(adjacency.T)
+        adjacency.setdiag(0.0)
+        adjacency.eliminate_zeros()
+        graph = SimilarityGraph(adjacency=adjacency.tocsr(), n_nodes=n)
+        sp.set_gauge("n_edges", graph.n_edges())
+    return graph

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import sparse
 
+import repro.obs as obs
 from repro.core.exceptions import GraphError
 from repro.propagation.graph import SimilarityGraph
 
@@ -90,19 +91,25 @@ class LabelPropagation:
         reached = is_seed.copy()
         converged = False
         iteration = 0
-        for iteration in range(1, self.max_iter + 1):
-            new_scores = T @ scores
-            # isolated nodes keep their current score
-            new_scores[degree == 0] = scores[degree == 0]
-            new_scores[is_seed] = seed_labels.astype(float)
-            reached = reached | (np.asarray((W @ reached.astype(float))).ravel() > 0)
-            delta = float(np.abs(new_scores - scores).max())
-            scores = new_scores
-            if delta < self.tol:
-                converged = True
-                break
-        scores = np.clip(scores, 0.0, 1.0)
-        scores[~reached] = self.prior
+        with obs.span(
+            "graph.propagate", n_nodes=n, n_seeds=len(seed_indices)
+        ) as sp:
+            for iteration in range(1, self.max_iter + 1):
+                new_scores = T @ scores
+                # isolated nodes keep their current score
+                new_scores[degree == 0] = scores[degree == 0]
+                new_scores[is_seed] = seed_labels.astype(float)
+                reached = reached | (np.asarray((W @ reached.astype(float))).ravel() > 0)
+                delta = float(np.abs(new_scores - scores).max())
+                scores = new_scores
+                if delta < self.tol:
+                    converged = True
+                    break
+            scores = np.clip(scores, 0.0, 1.0)
+            scores[~reached] = self.prior
+            sp.set_gauge("n_iterations", iteration)
+            sp.set_gauge("converged", converged)
+            sp.set_gauge("unreached_nodes", int((~reached).sum()))
         return PropagationResult(
             scores=scores,
             n_iterations=iteration,

@@ -19,8 +19,10 @@ resilient run with the same seed is bit-identical across thread counts.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterable
 
+import repro.obs as obs
 from repro.core.rng import spawn
 from repro.dataflow.mapreduce import run_map
 from repro.datagen.corpus import Corpus
@@ -43,6 +45,7 @@ def featurize_point(
     seed: int = 0,
     policy: ResiliencePolicy | None = None,
     events: list[DegradationEvent] | None = None,
+    latencies: list[tuple[str, float]] | None = None,
 ) -> dict[str, object]:
     """Apply every supporting resource to one point.
 
@@ -51,7 +54,8 @@ def featurize_point(
     ``policy``, service faults degrade to :data:`MISSING` under the
     policy's retry/fallback rules and per-cell
     :class:`DegradationEvent`\\ s are appended to ``events`` (when
-    provided).
+    provided).  ``latencies`` (only passed by traced runs) collects one
+    ``(service, seconds)`` sample per applied resource.
     """
     row: dict[str, object] = {}
     for resource in resources:
@@ -59,12 +63,22 @@ def featurize_point(
             row[resource.name] = MISSING
             continue
         tag = f"feat/{point.point_id}/{resource.name}"
-        if policy is None:
-            row[resource.name] = resource.apply(point, spawn(seed, tag))
-            continue
-        value, event = policy.call(
-            resource, point, rng_factory=lambda: spawn(seed, tag), seed=seed
-        )
+        if latencies is None:
+            if policy is None:
+                row[resource.name] = resource.apply(point, spawn(seed, tag))
+                continue
+            value, event = policy.call(
+                resource, point, rng_factory=lambda: spawn(seed, tag), seed=seed
+            )
+        else:
+            t0 = time.perf_counter()
+            if policy is None:
+                value, event = resource.apply(point, spawn(seed, tag)), None
+            else:
+                value, event = policy.call(
+                    resource, point, rng_factory=lambda: spawn(seed, tag), seed=seed
+                )
+            latencies.append((resource.name, time.perf_counter() - t0))
         row[resource.name] = value
         if event is not None and events is not None:
             events.append(event)
@@ -90,34 +104,76 @@ def featurize_corpus(
     retried or degraded (point, resource) pair in row order.
     """
     schema = FeatureSchema(r.spec for r in resources)
+    traced = obs.enabled()
 
-    if policy is None:
-        rows = run_map(
-            corpus.points,
-            lambda point: featurize_point(point, resources, seed=seed),
-            n_threads=n_threads,
-        )
-        report = None
-    else:
-
-        def _one(point: DataPoint) -> tuple[dict[str, object], list[DegradationEvent]]:
-            local: list[DegradationEvent] = []
-            row = featurize_point(
-                point, resources, seed=seed, policy=policy, events=local
+    with obs.span(
+        "featurize_corpus",
+        corpus=corpus.name,
+        n_points=len(corpus.points),
+        n_resources=len(resources),
+        n_threads=n_threads,
+    ) as sp:
+        if policy is None and not traced:
+            rows = run_map(
+                corpus.points,
+                lambda point: featurize_point(point, resources, seed=seed),
+                n_threads=n_threads,
             )
-            return row, local
+            report = None
+        else:
 
-        mapped = run_map(corpus.points, _one, n_threads=n_threads)
-        rows = [row for row, _ in mapped]
-        events = [event for _, local in mapped for event in local]
-        report = DegradationReport(
-            events=events, n_cells=len(corpus.points) * len(resources)
-        )
+            def _one(
+                point: DataPoint,
+            ) -> tuple[dict[str, object], list, list]:
+                local_events: list[DegradationEvent] = []
+                local_latencies: list[tuple[str, float]] = []
+                row = featurize_point(
+                    point,
+                    resources,
+                    seed=seed,
+                    policy=policy,
+                    events=local_events,
+                    latencies=local_latencies if traced else None,
+                )
+                return row, local_events, local_latencies
 
-    columns: dict[str, list[object]] = {name: [] for name in schema.names}
-    for row in rows:
-        for name in schema.names:
-            columns[name].append(row[name])
+            mapped = run_map(corpus.points, _one, n_threads=n_threads)
+            rows = [row for row, _, _ in mapped]
+            if policy is None:
+                report = None
+            else:
+                events = [e for _, local, _ in mapped for e in local]
+                report = DegradationReport(
+                    events=events, n_cells=len(corpus.points) * len(resources)
+                )
+            if traced:
+                # per-service call counters + latency histograms,
+                # aggregated on the coordinating thread
+                for _, _, local_latencies in mapped:
+                    for service, seconds in local_latencies:
+                        sp.add_counter(f"calls/{service}")
+                        sp.observe(f"latency_s/{service}", seconds)
+
+        if traced and report is not None:
+            # degradation accounting fed from the resilience layer
+            sp.add_counter("cells_degraded", report.n_degraded)
+            sp.add_counter("cells_recovered", report.n_recovered)
+            sp.add_counter("service_retries", report.total_retries)
+            for service, count in sorted(report.by_service().items()):
+                sp.add_counter(f"degraded/{service}", count)
+            if policy is not None:
+                health = policy.health_report()
+                sp.set_gauge("service_failure_rates", {
+                    name: round(h.failure_rate, 4)
+                    for name, h in sorted(health.services.items())
+                    if h.attempts
+                })
+
+        columns: dict[str, list[object]] = {name: [] for name in schema.names}
+        for row in rows:
+            for name in schema.names:
+                columns[name].append(row[name])
+        sp.add_counter("cells", len(corpus.points) * len(resources))
     return FeatureTable(
         schema=schema,
         columns=columns,

@@ -29,3 +29,21 @@ def test_task_subset_via_cli(capsys):
 def test_unknown_experiment_rejected():
     with pytest.raises(SystemExit):
         main(["tableX"])
+
+
+def test_trace_flag_writes_trace_json(tmp_path, capsys):
+    import json
+
+    import repro.obs as obs
+
+    trace_path = str(tmp_path / "trace.json")
+    code = main(["table1", "--scale", "0.05", "--seed", "3",
+                 "--trace", trace_path, "--profile"])
+    assert code == 0
+    assert not obs.enabled()  # tracer torn down after the run
+    out = capsys.readouterr().out
+    assert "trace 'experiments'" in out  # --profile summary printed
+    data = json.loads(open(trace_path, encoding="utf-8").read())
+    assert data["kind"] == "trace"
+    names = [c["name"] for c in data["trace"]["children"]]
+    assert names == ["experiment.table1"]

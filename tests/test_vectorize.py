@@ -158,3 +158,152 @@ def test_fit_requires_schema_features_present():
     bigger = FeatureSchema(list(table.schema) + [FeatureSpec("ghost", FeatureKind.NUMERIC)])
     with pytest.raises(SchemaError):
         Vectorizer(bigger).fit(table)
+
+
+# ---------------------------------------------------------------------------
+# vocabulary determinism and transform correctness
+# ---------------------------------------------------------------------------
+
+
+def _cats_table(rows: list[frozenset]) -> FeatureTable:
+    schema = FeatureSchema([FeatureSpec("cats", FeatureKind.CATEGORICAL)])
+    return FeatureTable(
+        schema=schema,
+        columns={"cats": list(rows)},
+        point_ids=list(range(len(rows))),
+        modalities=[Modality.TEXT] * len(rows),
+    )
+
+
+def test_min_count_filter_applies_before_vocab_cap():
+    """The cap must keep the most frequent *eligible* tokens: a token
+    below min_count can never displace one above it."""
+    rows = (
+        [frozenset({"a"})] * 5
+        + [frozenset({"c"})] * 3
+        + [frozenset({"d"})] * 2
+        + [frozenset({"b"})]  # rare: below min_count
+    )
+    vec = Vectorizer(_cats_table(rows).schema, max_vocab=2, min_count=2)
+    vec.fit(_cats_table(rows))
+    assert set(vec.vocabulary("cats")) == {"a", "c"}
+
+
+def test_vocab_cap_ties_break_lexicographically():
+    rows = [frozenset({"z"}), frozenset({"z"}), frozenset({"m"}), frozenset({"m"})]
+    vec = Vectorizer(_cats_table(rows).schema, max_vocab=1, min_count=1)
+    vec.fit(_cats_table(rows))
+    assert set(vec.vocabulary("cats")) == {"m"}
+
+
+def test_transform_kind_mismatch_raises_schema_error():
+    table = _table()
+    vec = Vectorizer(table.schema, min_count=1).fit(table)
+    renamed = FeatureSchema(
+        [
+            FeatureSpec("cats", FeatureKind.CATEGORICAL),
+            FeatureSpec("num", FeatureKind.CATEGORICAL),  # wrong kind
+        ]
+    )
+    bad = FeatureTable(
+        schema=renamed,
+        columns={"cats": [frozenset({"a"})], "num": [frozenset({"x"})]},
+        point_ids=[0],
+        modalities=[Modality.TEXT],
+    )
+    with pytest.raises(SchemaError) as err:
+        vec.transform(bad)
+    assert "NUMERIC" in str(err.value)
+    assert "CATEGORICAL" in str(err.value)
+
+
+def _reference_transform(vec: Vectorizer, table: FeatureTable) -> np.ndarray:
+    """The pre-vectorization scalar loop, kept as a regression oracle."""
+    out = np.zeros((table.n_rows, vec.n_columns), dtype=np.float32)
+    for sl in vec.slices:
+        if sl.name not in table.schema:
+            continue
+        spec = vec.schema[sl.name]
+        col = table.column(sl.name)
+        value_stop = sl.stop - 1  # add_presence assumed on
+        for i, value in enumerate(col):
+            if value is MISSING:
+                continue
+            if spec.kind is FeatureKind.CATEGORICAL:
+                vocab = vec.vocabulary(sl.name)
+                for token in value:
+                    j = vocab.get(token)
+                    if j is not None:
+                        out[i, sl.start + j] = 1.0
+            elif spec.kind is FeatureKind.NUMERIC:
+                mean, std = vec._numeric_stats[sl.name]
+                out[i, sl.start] = (float(value) - mean) / std
+            else:
+                mean_vec, std_vec = vec._embedding_stats[sl.name]
+                out[i, sl.start:value_stop] = (
+                    np.asarray(value, dtype=float) - mean_vec
+                ) / std_vec
+            out[i, value_stop] = 1.0
+    return out
+
+
+def test_transform_bit_identical_to_reference_loop():
+    rng = np.random.default_rng(11)
+    n = 40
+    schema = FeatureSchema(
+        [
+            FeatureSpec("cats", FeatureKind.CATEGORICAL),
+            FeatureSpec("num", FeatureKind.NUMERIC),
+            FeatureSpec("emb", FeatureKind.EMBEDDING),
+        ]
+    )
+    tokens = "abcdefgh"
+    cats, nums, embs = [], [], []
+    for i in range(n):
+        if rng.random() < 0.2:
+            cats.append(MISSING)
+        else:
+            cats.append(frozenset(rng.choice(list(tokens), size=rng.integers(1, 4))))
+        nums.append(MISSING if rng.random() < 0.2 else float(rng.normal() * 37.5))
+        embs.append(MISSING if rng.random() < 0.2 else rng.normal(size=6))
+    table = FeatureTable(
+        schema=schema,
+        columns={"cats": cats, "num": nums, "emb": embs},
+        point_ids=list(range(n)),
+        modalities=[Modality.IMAGE] * n,
+    )
+    vec = Vectorizer(schema, min_count=1).fit(table)
+    X = vec.transform(table)
+    ref = _reference_transform(vec, table)
+    assert X.dtype == ref.dtype == np.float32
+    assert np.array_equal(X, ref)
+
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    _HAS_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is in the image
+    _HAS_HYPOTHESIS = False
+
+
+if _HAS_HYPOTHESIS:
+    _token_rows = st.lists(
+        st.frozensets(st.sampled_from("abcdefghij"), max_size=4),
+        min_size=1,
+        max_size=30,
+    )
+
+    @settings(max_examples=50, deadline=None)
+    @given(rows=_token_rows, shuffle_seed=st.integers(0, 2**16))
+    def test_vocabulary_invariant_under_row_shuffle(rows, shuffle_seed):
+        """The fitted vocab (tokens AND indices) must not depend on the
+        order the corpus arrives in."""
+        base = Vectorizer(_cats_table(rows).schema, max_vocab=3, min_count=2)
+        base.fit(_cats_table(rows))
+        shuffled = list(rows)
+        np.random.default_rng(shuffle_seed).shuffle(shuffled)
+        other = Vectorizer(_cats_table(shuffled).schema, max_vocab=3, min_count=2)
+        other.fit(_cats_table(shuffled))
+        assert base.vocabulary("cats") == other.vocabulary("cats")
