@@ -1,0 +1,99 @@
+"""Atomic, durable file writes and content hashing.
+
+Crash-safe persistence (feature-table artifacts, run manifests,
+partition checkpoints) requires that a reader never observes a
+half-written file.  The standard recipe: write to a temporary file in
+the *same directory* as the destination, ``fsync`` the file, atomically
+``rename`` it over the destination, then ``fsync`` the directory so the
+rename itself survives a power loss.  POSIX guarantees the rename is
+all-or-nothing, so any observer sees either the old content or the new
+content — never a truncated hybrid.
+
+Content hashes (SHA-256) are the integrity primitive: artifact stores
+name files by their hash and verify it on read, turning silent
+corruption into a detectable, quarantinable event.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "fsync_dir",
+    "sha256_hex",
+    "canonical_json",
+]
+
+
+def sha256_hex(data: bytes) -> str:
+    """SHA-256 hex digest of ``data``."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def canonical_json(obj: object) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace drift).
+
+    Two structurally equal objects always encode to the same bytes, so
+    the encoding is safe to fingerprint with :func:`sha256_hex`.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def fsync_dir(path: Path) -> None:
+    """Flush a directory's metadata (namely, a just-completed rename).
+
+    Platforms that cannot open directories (e.g. Windows) skip silently;
+    the rename is still atomic there, just not power-loss durable.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically (temp + fsync + rename).
+
+    A crash at any point leaves either the previous file intact or no
+    file — never a truncated one.  Returns the destination path.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    fsync_dir(path.parent)
+    return path
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Atomic UTF-8 text write; see :func:`atomic_write_bytes`."""
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path: str | Path, obj: object, indent: int | None = None) -> Path:
+    """Atomic JSON write; see :func:`atomic_write_bytes`."""
+    return atomic_write_bytes(
+        path, json.dumps(obj, indent=indent).encode("utf-8")
+    )

@@ -70,6 +70,34 @@ class CircuitOpenError(ServiceUnavailableError):
     """A circuit breaker short-circuited the call without dialing out."""
 
 
+class CheckpointError(ReproError):
+    """A run checkpoint could not be written, read, or reconstructed."""
+
+
+class IntegrityError(CheckpointError):
+    """A persisted artifact failed verification (content-hash mismatch,
+    truncated or malformed document, or format-version skew).
+
+    Raised *instead of* silently recomputing: a corrupt artifact means
+    the store can no longer vouch for the run's history, so the bad
+    file is quarantined and the operator decides what to do.
+    """
+
+    def __init__(self, message: str, quarantined: object = None):
+        super().__init__(message)
+        #: path the corrupt artifact was moved to, when applicable
+        self.quarantined = quarantined
+
+
+class SimulatedCrashError(ReproError):
+    """An injected crash fired at a checkpoint boundary (test mode).
+
+    The process-kill injection mode uses ``os._exit``; this exception is
+    the in-process equivalent so tests can exercise crash/resume without
+    spawning subprocesses.
+    """
+
+
 class RecordError(ReproError):
     """A dataflow record could not be processed.
 

@@ -20,12 +20,16 @@ pipeline at their step (the paper's production requirement §2.3);
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 import repro.obs as obs
 from repro.core.config import PipelineConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runs.checkpoint import RunCheckpointer
 from repro.core.exceptions import ConfigurationError
 from repro.core.rng import derive_seed, spawn
 from repro.datagen.corpus import Corpus, CorpusSplits
@@ -94,6 +98,8 @@ class PipelineResult:
     tables: dict[str, FeatureTable] = field(default_factory=dict)
     timings: dict[str, float] = field(default_factory=dict)
     test_scores: np.ndarray | None = None
+    #: stages replayed from a run checkpoint instead of recomputed
+    resumed_stages: list[str] = field(default_factory=list)
 
 
 class CrossModalPipeline:
@@ -469,32 +475,161 @@ class CrossModalPipeline:
         }
         return metrics, scores
 
-    def run(self, splits: CorpusSplits) -> PipelineResult:
+    def run(
+        self,
+        splits: CorpusSplits,
+        checkpoint: "RunCheckpointer | None" = None,
+    ) -> PipelineResult:
         """Full pipeline: featurize -> curate -> train -> evaluate.
 
         Each step runs inside an :mod:`repro.obs` span of the same name,
         so a traced run (``obs.enable()``) exports the full nested tree;
         ``PipelineResult.timings`` is populated either way.
+
+        With a :class:`~repro.runs.RunCheckpointer`, every stage's output
+        is persisted as content-hashed artifacts on completion, and a
+        stage whose fingerprint (config slice + derived RNG seed + input
+        artifact hashes) matches a completed manifest record is replayed
+        from disk instead of recomputed.  Because every stage draws from
+        an RNG stream derived purely from the recorded seeds, a resumed
+        run is bit-identical to an uninterrupted one.
         """
+        from repro.features.io import table_from_dict, table_to_dict
+        from repro.runs import codecs
+
+        cfg = self.config
         timings: dict[str, float] = {}
+        resumed: list[str] = []
 
+        # ----- stage A: feature generation ----------------------------
+        def compute_featurize() -> dict[str, FeatureTable]:
+            return {
+                "text": self.featurize(splits.text_labeled, include_labels=True),
+                "image": self.featurize(splits.image_unlabeled, include_labels=False),
+                "test": self.featurize(splits.image_test, include_labels=True),
+            }
+
+        feat_hashes: dict[str, str] = {}
         with obs.timed("featurize", task=self.task.name) as t:
-            text_table = self.featurize(splits.text_labeled, include_labels=True)
-            image_table = self.featurize(splits.image_unlabeled, include_labels=False)
-            test_table = self.featurize(splits.image_test, include_labels=True)
+            if checkpoint is None:
+                tables = compute_featurize()
+            else:
+                outcome = checkpoint.stage(
+                    "featurize",
+                    config={
+                        "seed": cfg.seed,
+                        "derived_seed": derive_seed(cfg.seed, "featurize"),
+                        "features": sorted(self.schema.names),
+                    },
+                    compute=compute_featurize,
+                    encode=lambda ts: {
+                        key: ("feature_table", table_to_dict(table))
+                        for key, table in ts.items()
+                    },
+                    decode=lambda payloads: {
+                        key: table_from_dict(data) for key, data in payloads.items()
+                    },
+                )
+                tables = outcome.value
+                feat_hashes = outcome.artifact_hashes
+                if outcome.reused:
+                    resumed.append("featurize")
         timings["featurize"] = t.duration
+        text_table = tables["text"]
+        image_table = tables["image"]
+        test_table = tables["test"]
 
+        # ----- stage B: training-data curation -------------------------
+        curation_hash: dict[str, str] = {}
         with obs.timed("curate", task=self.task.name) as t:
-            curation = self.curate(text_table, image_table)
+            if checkpoint is None:
+                curation = self.curate(text_table, image_table)
+            else:
+                outcome = checkpoint.stage(
+                    "curate",
+                    config={
+                        "curation": asdict(cfg.curation),
+                        "lf_service_sets": list(cfg.lf_service_sets),
+                        "seed": cfg.seed,
+                        "derived_seed": derive_seed(cfg.seed, "curate"),
+                        "inputs": {
+                            key: feat_hashes[key]
+                            for key in ("text", "image")
+                            if key in feat_hashes
+                        },
+                    },
+                    compute=lambda: self.curate(text_table, image_table),
+                    encode=lambda c: {
+                        "curation": ("curation_result", codecs.encode_curation(c))
+                    },
+                    decode=lambda payloads: codecs.decode_curation(
+                        payloads["curation"]
+                    ),
+                )
+                curation = outcome.value
+                curation_hash = outcome.artifact_hashes
+                if outcome.reused:
+                    resumed.append("curate")
             t.span.add_counter("n_lfs", len(curation.lfs))
         timings["curate"] = t.duration
 
+        # ----- stage C: model training ---------------------------------
+        model_hash: dict[str, str] = {}
         with obs.timed("train", task=self.task.name) as t:
-            model = self.train(text_table, curation)
+            if checkpoint is None:
+                model = self.train(text_table, curation)
+            else:
+                outcome = checkpoint.stage(
+                    "train",
+                    config={
+                        "training": asdict(cfg.training),
+                        "model_service_sets": list(cfg.model_service_sets),
+                        "include_image_features": cfg.include_image_features,
+                        "drop_uncovered": cfg.curation.drop_uncovered,
+                        "derived_seed": derive_seed(cfg.seed, "model"),
+                        "inputs": {**feat_hashes, **curation_hash},
+                    },
+                    compute=lambda: self.train(text_table, curation),
+                    encode=lambda m: {
+                        "model": ("fusion_model", codecs.encode_model(m))
+                    },
+                    decode=lambda payloads: codecs.decode_model(payloads["model"]),
+                )
+                model = outcome.value
+                model_hash = outcome.artifact_hashes
+                if outcome.reused:
+                    resumed.append("train")
         timings["train"] = t.duration
 
+        # ----- stage D: evaluation -------------------------------------
         with obs.timed("evaluate", task=self.task.name) as t:
-            metrics, scores = self.evaluate(model, test_table)
+            if checkpoint is None:
+                metrics, scores = self.evaluate(model, test_table)
+            else:
+                outcome = checkpoint.stage(
+                    "evaluate",
+                    config={
+                        "model_service_sets": list(cfg.model_service_sets),
+                        "include_image_features": cfg.include_image_features,
+                        "inputs": {
+                            **{k: v for k, v in feat_hashes.items() if k == "test"},
+                            **model_hash,
+                        },
+                    },
+                    compute=lambda: self.evaluate(model, test_table),
+                    encode=lambda pair: {
+                        "evaluation": (
+                            "evaluation",
+                            codecs.encode_evaluation(pair[0], pair[1]),
+                        )
+                    },
+                    decode=lambda payloads: codecs.decode_evaluation(
+                        payloads["evaluation"]
+                    ),
+                )
+                metrics, scores = outcome.value
+                if outcome.reused:
+                    resumed.append("evaluate")
         timings["evaluate"] = t.duration
 
         return PipelineResult(
@@ -508,4 +643,5 @@ class CrossModalPipeline:
             },
             timings=timings,
             test_scores=scores,
+            resumed_stages=resumed,
         )

@@ -32,10 +32,13 @@ from collections import Counter, defaultdict
 from collections.abc import Callable, Hashable, Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, TypeVar
+from typing import TYPE_CHECKING, Any, TypeVar
 
 import repro.obs as obs
 from repro.core.exceptions import ConfigurationError, RecordError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.runs.checkpoint import PartitionCheckpointer
 
 __all__ = ["MapReduceJob", "run_mapreduce", "run_map"]
 
@@ -87,6 +90,10 @@ class MapReduceJob:
     record_retries: int = 0
     skip_bad_records: bool = False
     counters: dict[str, int] = field(default_factory=dict)
+    #: optional completed-partition checkpointing: each partition's mapped
+    #: output is persisted on completion, and a re-run of the same job
+    #: (same checkpoint ``job_key``) loads finished partitions from disk
+    checkpoint: PartitionCheckpointer | None = None
 
     def __post_init__(self) -> None:
         if self.n_partitions < 1:
@@ -146,6 +153,25 @@ class MapReduceJob:
                 sp.add_counter(name, value)
         return grouped, counts
 
+    def _map_partition_durable(
+        self, partition: list[tuple[int, Any]], partition_index: int
+    ) -> tuple[dict[Key, list[Any]], Counter]:
+        """Checkpoint-aware partition map: load a completed partition's
+        payload if the checkpoint has one, else map it and persist the
+        result before crossing the crash boundary."""
+        if self.checkpoint is None:
+            return self._map_partition(partition, partition_index)
+        cached = self.checkpoint.load(partition_index)
+        if cached is not None:
+            return cached
+        from repro.runs.crash import crash_boundary
+
+        grouped, counts = self._map_partition(partition, partition_index)
+        # defaultdict pickles with its factory; store a plain dict
+        self.checkpoint.save(partition_index, (dict(grouped), counts))
+        crash_boundary(f"partition:{partition_index}")
+        return grouped, counts
+
     def run(self, records: Sequence[Any]) -> dict[Key, Any]:
         """Execute the job; returns {key: reducer output} in key order."""
         partitions = self._partitions(list(records))
@@ -159,13 +185,14 @@ class MapReduceJob:
         ) as job_span:
             if self.n_threads == 1 or len(partitions) == 1:
                 results = [
-                    self._map_partition(p, i) for i, p in enumerate(partitions)
+                    self._map_partition_durable(p, i)
+                    for i, p in enumerate(partitions)
                 ]
             else:
                 with ThreadPoolExecutor(max_workers=self.n_threads) as pool:
                     results = list(
                         pool.map(
-                            lambda ip: self._map_partition(ip[1], ip[0]),
+                            lambda ip: self._map_partition_durable(ip[1], ip[0]),
                             enumerate(partitions),
                         )
                     )
@@ -221,6 +248,7 @@ def run_mapreduce(
     n_threads: int = 1,
     record_retries: int = 0,
     skip_bad_records: bool = False,
+    checkpoint: PartitionCheckpointer | None = None,
 ) -> dict[Key, Any]:
     """One-shot convenience wrapper around :class:`MapReduceJob`."""
     job = MapReduceJob(
@@ -231,6 +259,7 @@ def run_mapreduce(
         n_threads=n_threads,
         record_retries=record_retries,
         skip_bad_records=skip_bad_records,
+        checkpoint=checkpoint,
     )
     return job.run(records)
 

@@ -12,8 +12,20 @@ Regenerate any of the paper's tables/figures from the shell:
     python -m repro.experiments lf
     python -m repro.experiments ablations
     python -m repro.experiments chaos
+    python -m repro.experiments crash
     python -m repro.experiments end_to_end
     python -m repro.experiments all
+
+Checkpointing (see DESIGN.md "Checkpointing & crash recovery"):
+
+    --run-dir DIR      end_to_end: persist each completed stage into DIR
+                       as content-hashed artifacts plus a run manifest
+    --resume           continue an interrupted run from --run-dir; stages
+                       whose config fingerprints match are replayed from
+                       artifacts, bit-identically
+
+    python -m repro.experiments end_to_end --run-dir runs/e2e
+    python -m repro.experiments end_to_end --run-dir runs/e2e --resume
 
 Observability (see DESIGN.md "Observability"):
 
@@ -33,7 +45,7 @@ import sys
 
 import repro.obs as obs
 from repro.experiments.ablations import render_ablations, run_all_ablations
-from repro.experiments.chaos import run_chaos
+from repro.experiments.chaos import run_chaos, run_crash_resume
 from repro.experiments.end_to_end import run_end_to_end, run_figure5, run_table2
 from repro.experiments.factor_analysis import run_figure6
 from repro.experiments.fusion_ablation import run_fusion_ablation
@@ -44,7 +56,7 @@ from repro.experiments.table1 import run_table1
 
 _EXPERIMENTS = (
     "table1", "table2", "table3", "figure5", "figure6", "figure7",
-    "fusion", "lf", "ablations", "chaos", "end_to_end",
+    "fusion", "lf", "ablations", "chaos", "crash", "end_to_end",
 )
 
 
@@ -80,9 +92,14 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
     if name == "chaos":
         return run_chaos(scale=scale, seed=seed,
                          n_model_seeds=args.model_seeds).render()
+    if name == "crash":
+        task = (args.tasks or ["CT1"])[0]
+        return run_crash_resume(task=task, scale=scale, seed=seed,
+                                keep_dir=args.run_dir).render()
     if name == "end_to_end":
         task = (args.tasks or ["CT1"])[0]
-        return run_end_to_end(task=task, scale=scale, seed=seed).render()
+        return run_end_to_end(task=task, scale=scale, seed=seed,
+                              run_dir=args.run_dir, resume=args.resume).render()
     raise ValueError(f"unknown experiment {name!r}")
 
 
@@ -108,13 +125,25 @@ def main(argv: list[str] | None = None) -> int:
                              "as JSON to PATH")
     parser.add_argument("--profile", action="store_true",
                         help="print a span-tree summary after the run")
+    parser.add_argument("--run-dir", metavar="DIR", default=None,
+                        help="end_to_end: checkpoint every completed stage "
+                             "into DIR (artifacts + manifest); "
+                             "crash: keep the harness run dirs in DIR")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted checkpointed run from "
+                             "--run-dir, replaying completed stages")
     args = parser.parse_args(argv)
 
     tracer = None
     if args.trace or args.profile:
         tracer = obs.enable(obs.Tracer("experiments"))
 
-    names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    # "all" excludes the subprocess-based crash harness; run it explicitly
+    names = (
+        [n for n in _EXPERIMENTS if n != "crash"]
+        if args.experiment == "all"
+        else [args.experiment]
+    )
     try:
         for name in names:
             with obs.timed(f"experiment.{name}") as t:

@@ -1,27 +1,42 @@
-"""Chaos experiment — end-task AUPRC vs. service availability.
+"""Chaos experiments — fault injection against the running pipeline.
 
-The paper's §6.6 measures robustness to *channel* noise (missing
-features from modality mismatch).  Here the same missing-feature
-robustness is induced by *infrastructure* faults: every organizational
-resource is wrapped in a fault-injecting :class:`ServiceClient`, the
-full pipeline (featurize -> curate -> train -> evaluate) runs under a
-retry+fallback :class:`ResiliencePolicy`, and we sweep the per-call
-availability.  The claim under test: the weak-supervision pipeline
-degrades gracefully — AUPRC declines smoothly with availability rather
-than falling off a cliff, because retries recover most transient
-faults and exhausted calls degrade to the MISSING semantics the models
-already tolerate.
+Two fault models against the same pipeline:
+
+* :func:`run_chaos` — *service* faults: every organizational resource
+  is wrapped in a fault-injecting :class:`ServiceClient`, the full
+  pipeline runs under a retry+fallback :class:`ResiliencePolicy`, and
+  we sweep per-call availability.  The claim under test: AUPRC declines
+  smoothly with availability rather than falling off a cliff, because
+  retries recover most transient faults and exhausted calls degrade to
+  the MISSING semantics the models already tolerate.
+
+* :func:`run_crash_resume` — *process* faults: a checkpointed
+  end-to-end run is killed (``os._exit``, no cleanup) at every stage
+  boundary in turn, resumed with ``--resume``, and the resumed result
+  is compared bit-for-bit against an uninterrupted baseline.  The claim
+  under test: the :mod:`repro.runs` checkpoint layer makes a resumed
+  run indistinguishable from one that never crashed.
 
     python -m repro.experiments chaos --scale 0.3 --seed 1
+    python -m repro.experiments crash --scale 0.15 --seed 1
 """
 
 from __future__ import annotations
 
+import json
+import os
+import subprocess
+import sys
+import tempfile
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
+import repro
+from repro.core.exceptions import CheckpointError
 from repro.core.rng import derive_seed
+from repro.runs.crash import CRASH_AT_ENV, CRASH_EXIT_CODE
 from repro.experiments.common import ExperimentContext
 from repro.experiments.reporting import render_bars, render_table
 from repro.resilience import (
@@ -34,7 +49,13 @@ from repro.resilience import (
 )
 from repro.resources.featurize import featurize_corpus
 
-__all__ = ["ChaosResult", "run_chaos", "DEFAULT_AVAILABILITIES"]
+__all__ = [
+    "ChaosResult",
+    "CrashResumeResult",
+    "run_chaos",
+    "run_crash_resume",
+    "DEFAULT_AVAILABILITIES",
+]
 
 DEFAULT_AVAILABILITIES: tuple[float, ...] = (1.0, 0.9, 0.75, 0.5)
 
@@ -197,4 +218,214 @@ def run_chaos(
         scale=ctx.scale,
         seed=seed,
         health_renders=health_renders,
+    )
+
+
+# --------------------------------------------------------------------------
+# crash/resume harness
+# --------------------------------------------------------------------------
+
+#: the durable boundaries a pipeline run crosses, in order
+STAGE_BOUNDARIES: tuple[str, ...] = (
+    "stage:featurize",
+    "stage:curate",
+    "stage:train",
+    "stage:evaluate",
+)
+
+
+@dataclass
+class KillPoint:
+    """Outcome of one kill-and-resume cycle."""
+
+    boundary: str
+    crash_exit: int
+    resumed_stages: list[str]
+    metrics_match: bool
+
+
+@dataclass
+class CrashResumeResult:
+    """Proof (or refutation) of the resume guarantee, per kill point."""
+
+    task: str
+    scale: float
+    seed: int
+    baseline_metrics: dict[str, float]
+    kills: list[KillPoint]
+    corruption_detected: bool
+    quarantined_files: int
+    run_dir: str
+
+    def ok(self) -> bool:
+        return (
+            all(
+                k.crash_exit == CRASH_EXIT_CODE and k.metrics_match
+                for k in self.kills
+            )
+            and self.corruption_detected
+        )
+
+    def render(self) -> str:
+        rows = []
+        for k in self.kills:
+            rows.append(
+                [
+                    k.boundary,
+                    k.crash_exit,
+                    ", ".join(k.resumed_stages) or "-",
+                    "bit-identical" if k.metrics_match else "MISMATCH",
+                ]
+            )
+        table = render_table(
+            ["kill at boundary", "exit", "stages replayed on resume", "metrics"],
+            rows,
+            title=(
+                f"Crash/resume — {self.task} kill-and-resume at every stage "
+                f"boundary (scale={self.scale}, seed={self.seed})"
+            ),
+        )
+        corruption = (
+            f"corrupted artifact: detected and quarantined "
+            f"({self.quarantined_files} file(s) in quarantine/)"
+            if self.corruption_detected
+            else "corrupted artifact: NOT detected — integrity check failed"
+        )
+        verdict = (
+            "resume is crash-safe: every kill point resumed to bit-identical metrics"
+            if self.ok()
+            else "resume is NOT crash-safe (see rows above)"
+        )
+        return table + "\n\n" + corruption + "\n" + verdict
+
+
+def _end_to_end_argv(
+    task: str, scale: float, seed: int, run_dir: Path, resume: bool
+) -> list[str]:
+    argv = [
+        sys.executable, "-m", "repro.experiments", "end_to_end",
+        "--tasks", task, "--scale", str(scale), "--seed", str(seed),
+        "--run-dir", str(run_dir),
+    ]
+    if resume:
+        argv.append("--resume")
+    return argv
+
+
+def _subprocess_env(crash_at: str | None = None) -> dict[str, str]:
+    env = dict(os.environ)
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_root if not existing else src_root + os.pathsep + existing
+    )
+    env.pop(CRASH_AT_ENV, None)
+    env.pop("REPRO_CRASH_MODE", None)
+    if crash_at is not None:
+        env[CRASH_AT_ENV] = crash_at
+    return env
+
+
+def run_crash_resume(
+    task: str = "CT1",
+    scale: float = 0.15,
+    seed: int = 1,
+    boundaries: tuple[str, ...] = STAGE_BOUNDARIES,
+    keep_dir: str | None = None,
+    timeout: float = 600.0,
+) -> CrashResumeResult:
+    """Kill a checkpointed run at each boundary; prove resume is exact.
+
+    For every boundary: a fresh subprocess runs the checkpointed
+    end-to-end experiment with ``REPRO_CRASH_AT`` targeting that
+    boundary, which ``os._exit``\\ s the process the instant the
+    boundary's durable state hits disk (exit status
+    ``CRASH_EXIT_CODE``).  A second subprocess resumes the same run
+    directory and must produce metrics bit-identical to an
+    uninterrupted baseline.  Finally one artifact of the baseline run
+    is corrupted in place and a resume attempted — the store must
+    detect the hash mismatch, quarantine the file, and fail loudly
+    rather than silently recompute.
+
+    ``keep_dir`` preserves the run directories (the CI smoke job
+    uploads the baseline manifest from there); by default a temp dir is
+    used and cleaned up by the OS.
+    """
+    root = Path(keep_dir) if keep_dir else Path(tempfile.mkdtemp(prefix="crash-resume-"))
+    root.mkdir(parents=True, exist_ok=True)
+
+    baseline_dir = root / "baseline"
+    proc = subprocess.run(
+        _end_to_end_argv(task, scale, seed, baseline_dir, resume=False),
+        env=_subprocess_env(),
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    if proc.returncode != 0:
+        raise CheckpointError(
+            f"baseline run failed (exit {proc.returncode}):\n{proc.stderr[-2000:]}"
+        )
+    baseline = json.loads((baseline_dir / "result.json").read_text(encoding="utf-8"))
+
+    kills: list[KillPoint] = []
+    for boundary in boundaries:
+        run_dir = root / boundary.replace(":", "-")
+        crashed = subprocess.run(
+            _end_to_end_argv(task, scale, seed, run_dir, resume=False),
+            env=_subprocess_env(crash_at=boundary),
+            capture_output=True,
+            text=True,
+            timeout=timeout,
+        )
+        resumed = subprocess.run(
+            _end_to_end_argv(task, scale, seed, run_dir, resume=True),
+            env=_subprocess_env(),
+            capture_output=True,
+            text=True,
+            timeout=timeout,
+        )
+        if resumed.returncode != 0:
+            raise CheckpointError(
+                f"resume after kill at {boundary!r} failed "
+                f"(exit {resumed.returncode}):\n{resumed.stderr[-2000:]}"
+            )
+        result = json.loads((run_dir / "result.json").read_text(encoding="utf-8"))
+        kills.append(
+            KillPoint(
+                boundary=boundary,
+                crash_exit=crashed.returncode,
+                resumed_stages=list(result["resumed_stages"]),
+                metrics_match=result["metrics"] == baseline["metrics"],
+            )
+        )
+
+    # corruption probe: flip bytes in one baseline artifact, then resume
+    artifacts = sorted((baseline_dir / "artifacts").iterdir())
+    victim = artifacts[0]
+    victim.write_bytes(b"corrupted" + victim.read_bytes()[9:])
+    corrupted = subprocess.run(
+        _end_to_end_argv(task, scale, seed, baseline_dir, resume=True),
+        env=_subprocess_env(),
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    quarantine = baseline_dir / "quarantine"
+    quarantined = len(list(quarantine.iterdir())) if quarantine.exists() else 0
+    corruption_detected = (
+        corrupted.returncode != 0
+        and "IntegrityError" in corrupted.stderr
+        and quarantined > 0
+    )
+
+    return CrashResumeResult(
+        task=task,
+        scale=scale,
+        seed=seed,
+        baseline_metrics=baseline["metrics"],
+        kills=kills,
+        corruption_detected=corruption_detected,
+        quarantined_files=quarantined,
+        run_dir=str(root),
     )

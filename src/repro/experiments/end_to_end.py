@@ -15,7 +15,7 @@ cross-over is the paper's evidence that nonservable features matter.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from repro.core.config import PipelineConfig
 from repro.experiments.common import (
@@ -178,6 +178,8 @@ class EndToEndRun:
     coverage: float
     scale: float
     seed: int
+    #: stages replayed from a run checkpoint (empty without --run-dir)
+    resumed_stages: list[str] = field(default_factory=list)
 
     def render(self) -> str:
         lines = [
@@ -193,11 +195,19 @@ class EndToEndRun:
             "  timings: "
             + ", ".join(f"{k} {v:.1f}s" for k, v in self.timings.items())
         )
+        if self.resumed_stages:
+            lines.append(
+                "  resumed from checkpoint: " + ", ".join(self.resumed_stages)
+            )
         return "\n".join(lines)
 
 
 def run_end_to_end(
-    task: str = "CT1", scale: float = 0.4, seed: int = 1
+    task: str = "CT1",
+    scale: float = 0.4,
+    seed: int = 1,
+    run_dir: str | None = None,
+    resume: bool = False,
 ) -> EndToEndRun:
     """Run the full pipeline (featurize -> curate -> train -> evaluate)
     once on one task.
@@ -205,18 +215,42 @@ def run_end_to_end(
     Under ``--trace`` this produces the canonical nested trace: one span
     per pipeline step, with per-service featurization counters and
     latency histograms inside the featurize subtree.
+
+    With ``run_dir``, every completed stage is checkpointed there
+    (content-hashed artifacts + manifest), and ``resume=True`` replays
+    completed stages from a prior interrupted run instead of recomputing
+    them — bit-identically, since all stage RNG streams derive from the
+    recorded seeds.  A ``result.json`` with the headline numbers is
+    written atomically into the run directory on completion.
     """
+    from pathlib import Path
+
+    from repro.core.atomicio import atomic_write_json
     from repro.core.config import PipelineConfig
     from repro.core.pipeline import CrossModalPipeline
     from repro.datagen.tasks import classification_task, generate_task_corpora
     from repro.resources.service_sets import build_resource_suite
+    from repro.runs import RunCheckpointer
+
+    checkpoint = None
+    if run_dir is not None:
+        checkpoint = RunCheckpointer(
+            run_dir,
+            context={
+                "experiment": "end_to_end",
+                "task": task,
+                "scale": scale,
+                "seed": seed,
+            },
+            resume=resume,
+        )
 
     task_config = classification_task(task)
     world, task_rt, splits = generate_task_corpora(task_config, scale=scale, seed=seed)
     catalog = build_resource_suite(world, task_rt, n_history=10_000, seed=seed)
     pipeline = CrossModalPipeline(world, task_rt, catalog, PipelineConfig(seed=seed))
-    result = pipeline.run(splits)
-    return EndToEndRun(
+    result = pipeline.run(splits, checkpoint=checkpoint)
+    run = EndToEndRun(
         task=task,
         metrics=result.metrics,
         timings=result.timings,
@@ -224,7 +258,23 @@ def run_end_to_end(
         coverage=result.curation.label_matrix.coverage(),
         scale=scale,
         seed=seed,
+        resumed_stages=list(result.resumed_stages),
     )
+    if run_dir is not None:
+        atomic_write_json(
+            Path(run_dir) / "result.json",
+            {
+                "task": run.task,
+                "scale": run.scale,
+                "seed": run.seed,
+                "metrics": run.metrics,
+                "n_lfs": run.n_lfs,
+                "coverage": run.coverage,
+                "resumed_stages": run.resumed_stages,
+            },
+            indent=2,
+        )
+    return run
 
 
 @dataclass

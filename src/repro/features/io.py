@@ -17,6 +17,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.atomicio import atomic_write_json
 from repro.core.exceptions import SchemaError
 from repro.datagen.entities import Modality
 from repro.features.schema import FeatureKind, FeatureSchema, FeatureSpec
@@ -95,35 +96,68 @@ def table_to_dict(table: FeatureTable) -> dict:
 
 
 def table_from_dict(data: dict) -> FeatureTable:
-    """Inverse of :func:`table_to_dict`."""
+    """Inverse of :func:`table_to_dict`.
+
+    Validates the format version first and converts structural defects
+    (missing keys, wrong value shapes) into :class:`SchemaError` with
+    the offending field named, rather than leaking a bare ``KeyError``.
+    """
+    if not isinstance(data, dict):
+        raise SchemaError(
+            f"feature-table document must be a JSON object, got {type(data).__name__}"
+        )
     version = data.get("format_version")
     if version != _FORMAT_VERSION:
-        raise SchemaError(f"unsupported feature-table format version {version!r}")
-    schema = FeatureSchema(_spec_from_dict(s) for s in data["schema"])
-    columns = {
-        spec.name: [
-            _decode_value(spec.kind, v) for v in data["columns"][spec.name]
-        ]
-        for spec in schema
-    }
-    return FeatureTable(
-        schema=schema,
-        columns=columns,
-        point_ids=data["point_ids"],
-        modalities=[Modality(m) for m in data["modalities"]],
-        labels=None if data["labels"] is None else np.asarray(data["labels"]),
-    )
+        raise SchemaError(
+            f"unsupported feature-table format version {version!r} "
+            f"(this build reads version {_FORMAT_VERSION})"
+        )
+    try:
+        schema = FeatureSchema(_spec_from_dict(s) for s in data["schema"])
+        columns = {
+            spec.name: [
+                _decode_value(spec.kind, v) for v in data["columns"][spec.name]
+            ]
+            for spec in schema
+        }
+        return FeatureTable(
+            schema=schema,
+            columns=columns,
+            point_ids=data["point_ids"],
+            modalities=[Modality(m) for m in data["modalities"]],
+            labels=None if data["labels"] is None else np.asarray(data["labels"]),
+        )
+    except SchemaError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SchemaError(
+            f"malformed feature-table document: {type(exc).__name__}: {exc}"
+        ) from exc
 
 
 def save_table(table: FeatureTable, path: str | Path) -> None:
-    """Write a feature table to ``path`` as JSON."""
-    path = Path(path)
-    with path.open("w", encoding="utf-8") as handle:
-        json.dump(table_to_dict(table), handle)
+    """Write a feature table to ``path`` as JSON.
+
+    The write is atomic (temp file + fsync + rename): a crash mid-write
+    leaves the previous file (or no file), never a truncated document.
+    """
+    atomic_write_json(Path(path), table_to_dict(table))
 
 
 def load_table(path: str | Path) -> FeatureTable:
-    """Read a feature table written by :func:`save_table`."""
+    """Read a feature table written by :func:`save_table`.
+
+    Raises :class:`SchemaError` for truncated or non-JSON content and
+    for any structural defect, so callers can distinguish "corrupt
+    artifact" from an OS-level read failure.
+    """
     path = Path(path)
     with path.open("r", encoding="utf-8") as handle:
-        return table_from_dict(json.load(handle))
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(
+                f"feature-table file {path} is not valid JSON "
+                f"(truncated write?): {exc}"
+            ) from exc
+    return table_from_dict(data)

@@ -42,6 +42,12 @@ class LabelingFunction:
     #: features the LF reads (for nonservable bookkeeping / analysis)
     depends_on: tuple[str, ...] = ()
     description: str = ""
+    #: declarative reconstruction recipe for LFs built by the parametric
+    #: factories below (``("conjunction", feature, values, vote)`` or
+    #: ``("numeric_threshold", feature, threshold, vote, direction)``).
+    #: ``None`` for hand-written closures, which cannot be persisted —
+    #: run checkpointing rebuilds factory LFs from this recipe.
+    recipe: tuple | None = field(compare=False, default=None)
 
     def __call__(self, row: FeatureRow) -> int:
         vote = self.fn(row)
@@ -106,6 +112,7 @@ def conjunction_lf(
         origin=origin,
         depends_on=(feature,),
         description=f"{feature} ⊇ {sorted(values)} -> {vote:+d}",
+        recipe=("conjunction", feature, tuple(sorted(values)), vote),
     )
 
 
@@ -138,4 +145,5 @@ def numeric_threshold_lf(
         origin=origin,
         depends_on=(feature,),
         description=f"{feature} {'≥' if direction == 'above' else '≤'} {threshold:.4g} -> {vote:+d}",
+        recipe=("numeric_threshold", feature, float(threshold), vote, direction),
     )

@@ -1,0 +1,50 @@
+"""Crash-safe pipeline runs: durable checkpoints and resume.
+
+The paper's split architecture exists so teams can "enter and exit the
+pipeline at their step" through well-defined artifacts; at production
+scale those artifacts must also survive preemption and partial failure
+(Snorkel DryBell runs its pipelines as preemptible MapReduce jobs).
+This package makes a pipeline run durable:
+
+* :class:`RunStore` — content-hashed artifacts, written atomically,
+  verified on read, quarantined on corruption;
+* :class:`RunManifest` — per-run record of stage completions, config
+  fingerprints (chained over input hashes), and artifacts;
+* :class:`RunCheckpointer` — stage replay-or-compute threaded through
+  :meth:`CrossModalPipeline.run <repro.core.pipeline.CrossModalPipeline.run>`;
+* :class:`PartitionCheckpointer` — the same at MapReduce partition
+  granularity;
+* :mod:`repro.runs.crash` — kill-at-boundary injection used by the
+  crash/resume harness (``python -m repro.experiments crash``).
+
+A resumed run is bit-identical to an uninterrupted one: every stage
+artifact round-trips exactly (see :mod:`repro.runs.codecs`) and all
+stage RNG streams are derived from recorded seeds.
+"""
+
+from repro.runs.checkpoint import PartitionCheckpointer, RunCheckpointer, StageOutcome
+from repro.runs.crash import (
+    CRASH_AT_ENV,
+    CRASH_EXIT_CODE,
+    CRASH_MODE_ENV,
+    crash_boundary,
+)
+from repro.runs.manifest import MANIFEST_VERSION, RunManifest, StageRecord, stage_fingerprint
+from repro.runs.store import ARTIFACT_FORMAT_VERSION, ArtifactRef, RunStore
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "ArtifactRef",
+    "CRASH_AT_ENV",
+    "CRASH_EXIT_CODE",
+    "CRASH_MODE_ENV",
+    "MANIFEST_VERSION",
+    "PartitionCheckpointer",
+    "RunCheckpointer",
+    "RunManifest",
+    "RunStore",
+    "StageOutcome",
+    "StageRecord",
+    "crash_boundary",
+    "stage_fingerprint",
+]

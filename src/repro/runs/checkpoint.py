@@ -1,0 +1,239 @@
+"""Run- and partition-level checkpointers.
+
+:class:`RunCheckpointer` is what the pipeline threads through its
+stages: each stage declares its effective configuration (including the
+content hashes of its inputs), and the checkpointer either replays the
+stage from durable artifacts (fingerprint match) or computes it, stores
+the artifacts, and records completion in the manifest — in that order,
+so the manifest never references bytes that aren't on disk.
+
+:class:`PartitionCheckpointer` is the same idea one level down, for
+MapReduce: each completed partition's mapped output is persisted, so a
+killed job recomputes only the partitions that hadn't finished.
+
+Every save / skip emits :mod:`repro.obs` spans and counters
+(``runs.stage.save``, ``runs.stage.skip``, ``runs.stages_skipped`` …)
+so a traced resumed run shows exactly what it reused.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+import repro.obs as obs
+from repro.core.atomicio import atomic_write_json
+from repro.core.exceptions import CheckpointError, IntegrityError
+from repro.runs.crash import crash_boundary
+from repro.runs.manifest import RunManifest, StageRecord, stage_fingerprint
+from repro.runs.store import ArtifactRef, RunStore
+
+__all__ = ["StageOutcome", "RunCheckpointer", "PartitionCheckpointer"]
+
+#: encode() returns {artifact_name: (kind, json_payload)}
+Encoded = dict[str, tuple[str, Any]]
+
+
+@dataclass
+class StageOutcome:
+    """What :meth:`RunCheckpointer.stage` produced."""
+
+    value: Any
+    record: StageRecord
+    reused: bool
+
+    @property
+    def artifact_hashes(self) -> dict[str, str]:
+        """Content hashes of the stage's artifacts — feed these into the
+        next stage's config so fingerprints chain over actual inputs."""
+        return {name: ref.hash for name, ref in sorted(self.record.artifacts.items())}
+
+
+class RunCheckpointer:
+    """Durable stage checkpointing for one run directory."""
+
+    def __init__(
+        self,
+        run_dir: str | Path,
+        context: dict | None = None,
+        resume: bool = False,
+    ) -> None:
+        run_dir = Path(run_dir)
+        context = dict(context or {})
+        if RunManifest.exists(run_dir):
+            if not resume:
+                raise CheckpointError(
+                    f"run directory {run_dir} already holds a manifest; pass "
+                    f"resume=True (CLI: --resume) to continue it, or use a fresh "
+                    f"directory"
+                )
+            self.manifest = RunManifest.load(run_dir)
+            if self.manifest.context != context:
+                raise CheckpointError(
+                    f"refusing to resume: run {run_dir} was created with context "
+                    f"{self.manifest.context!r} but this invocation has "
+                    f"{context!r}; matching task/scale/seed is required"
+                )
+        else:
+            self.manifest = RunManifest.create(run_dir, context)
+        self.run_dir = run_dir
+        self.store = RunStore(run_dir)
+        #: stage names replayed from artifacts (in stage order)
+        self.reused_stages: list[str] = []
+
+    def stage(
+        self,
+        name: str,
+        config: object,
+        compute: Callable[[], Any],
+        encode: Callable[[Any], Encoded],
+        decode: Callable[[dict[str, Any]], Any],
+    ) -> StageOutcome:
+        """Replay ``name`` from artifacts, or compute and persist it.
+
+        ``config`` must capture everything that determines the stage's
+        output (config slice, derived RNG seeds, input artifact hashes);
+        it is fingerprinted against the manifest record.  Replay happens
+        only on an exact fingerprint match — any skew recomputes, and
+        the changed output hashes re-fingerprint downstream stages.
+        """
+        fingerprint = stage_fingerprint(self.manifest.context, name, config)
+        record = self.manifest.completed(name, fingerprint)
+        if record is not None:
+            with obs.span(
+                "runs.stage.skip", stage=name, fingerprint=fingerprint[:12]
+            ) as sp:
+                payloads = {
+                    key: self.store.get_json(ref)
+                    for key, ref in record.artifacts.items()
+                }
+                value = decode(payloads)
+                sp.add_counter("artifacts_reused", len(payloads))
+                sp.add_counter(
+                    "bytes_reused", sum(r.size for r in record.artifacts.values())
+                )
+            obs.add_counter("runs.stages_skipped")
+            self.reused_stages.append(name)
+            return StageOutcome(value=value, record=record, reused=True)
+
+        t0 = time.perf_counter()
+        value = compute()
+        with obs.span("runs.stage.save", stage=name) as sp:
+            refs = {
+                key: self.store.put_json(kind, payload)
+                for key, (kind, payload) in encode(value).items()
+            }
+            record = self.manifest.record_stage(
+                name,
+                fingerprint,
+                config,
+                refs,
+                wall_time_s=time.perf_counter() - t0,
+            )
+            sp.add_counter("artifacts_saved", len(refs))
+        obs.add_counter("runs.stages_computed")
+        crash_boundary(f"stage:{name}")
+        return StageOutcome(value=value, record=record, reused=False)
+
+
+class PartitionCheckpointer:
+    """Completed-partition checkpointing for a MapReduce job.
+
+    Partition payloads (the mapped-and-combined group dict plus local
+    counters) are pickled into a content-hashed :class:`RunStore`; a
+    small ``partitions.json`` manifest maps partition index → artifact
+    reference.  ``job_key`` identifies the job configuration — an
+    existing manifest written under a different key is ignored and
+    replaced, since its partitions belong to a different computation.
+
+    Thread-safe: partitions may complete on worker threads; manifest
+    updates serialize through a lock and each rewrite is atomic.
+    """
+
+    FILENAME = "partitions.json"
+    FORMAT_VERSION = 1
+    KIND = "mapreduce.partition.pkl"
+
+    def __init__(self, root: str | Path, job_key: str) -> None:
+        self.root = Path(root)
+        self.job_key = str(job_key)
+        self.store = RunStore(self.root)
+        self._path = self.root / self.FILENAME
+        self._lock = threading.Lock()
+        self._entries: dict[int, ArtifactRef] = {}
+        self._load_manifest()
+
+    def _load_manifest(self) -> None:
+        if not self._path.exists():
+            return
+        try:
+            data = json.loads(self._path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise IntegrityError(
+                f"partition manifest {self._path} is not valid JSON: {exc}; "
+                f"it is written atomically, so this indicates external "
+                f"modification — delete it to recompute the job"
+            ) from exc
+        if (
+            not isinstance(data, dict)
+            or data.get("format_version") != self.FORMAT_VERSION
+            or data.get("job_key") != self.job_key
+        ):
+            return  # different job or version: start fresh
+        self._entries = {
+            int(index): ArtifactRef.from_dict(ref)
+            for index, ref in data.get("partitions", {}).items()
+        }
+
+    def _save_manifest(self) -> None:
+        atomic_write_json(
+            self._path,
+            {
+                "format_version": self.FORMAT_VERSION,
+                "job_key": self.job_key,
+                "partitions": {
+                    str(i): ref.to_dict() for i, ref in sorted(self._entries.items())
+                },
+            },
+            indent=2,
+        )
+
+    def load(self, index: int) -> Any | None:
+        """The checkpointed payload of partition ``index``, or ``None``.
+
+        Corrupt payloads quarantine and raise (via the store) rather
+        than silently recomputing.
+        """
+        ref = self._entries.get(index)
+        if ref is None:
+            return None
+        data = self.store.get_bytes(ref)
+        try:
+            payload = pickle.loads(data)
+        except Exception as exc:  # noqa: BLE001 - any unpickle failure is corruption
+            quarantined = self.store.quarantine(self.store._path_for(ref.hash, ref.kind))
+            raise IntegrityError(
+                f"partition {index} checkpoint could not be unpickled ({exc}); "
+                f"quarantined at {quarantined}",
+                quarantined=quarantined,
+            ) from exc
+        obs.add_counter("runs.partitions_skipped")
+        return payload
+
+    def save(self, index: int, payload: Any) -> None:
+        """Persist partition ``index``'s payload and update the manifest."""
+        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        ref = self.store.put_bytes(self.KIND, data)
+        with self._lock:
+            self._entries[index] = ref
+            self._save_manifest()
+        obs.add_counter("runs.partitions_saved")
+
+    def completed(self) -> list[int]:
+        """Indices of checkpointed partitions (sorted)."""
+        return sorted(self._entries)

@@ -1,0 +1,420 @@
+"""JSON codecs for pipeline stage artifacts.
+
+Everything a stage hands to the next stage — feature tables, LF sets,
+label matrices, probabilistic labels, label-model parameters, trained
+model weights — round-trips through these encoders **exactly**: floats
+survive JSON bit-for-bit (Python emits shortest-round-trip reprs), so a
+resumed run computes on values identical to the originals and its
+metrics match an uninterrupted run to the last bit.
+
+Design notes:
+
+* Labeling functions serialize *declaratively* via their
+  :attr:`~repro.labeling.lf.LabelingFunction.recipe` (the parametric
+  factories record one); rebuilding goes back through the same factory,
+  so a restored LF is a working callable, not a stub.  Hand-written
+  closure LFs have no recipe and are rejected with a clear error.
+* Models serialize as (hyperparameters, fitted arrays).  The restored
+  fusion wrappers carry a poisoned ``model_factory`` — refitting a
+  checkpointed model is a config change, not a resume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import CheckpointError
+from repro.features.io import _spec_from_dict, _spec_to_dict, table_from_dict, table_to_dict
+from repro.features.table import FeatureTable
+from repro.features.vectorize import FeatureSlice, Vectorizer
+from repro.labeling.analysis import WeakLabelQuality
+from repro.labeling.label_model import GenerativeLabelModel
+from repro.labeling.lf import LabelingFunction, conjunction_lf, numeric_threshold_lf
+from repro.labeling.matrix import LabelMatrix
+from repro.models.fusion import DeViSE, EarlyFusion, IntermediateFusion
+from repro.models.linear import LogisticRegression
+from repro.models.mlp import MLPClassifier
+
+__all__ = [
+    "encode_table",
+    "decode_table",
+    "encode_lf",
+    "decode_lf",
+    "encode_label_matrix",
+    "decode_label_matrix",
+    "encode_label_model",
+    "decode_label_model",
+    "encode_curation",
+    "decode_curation",
+    "encode_model",
+    "decode_model",
+    "encode_evaluation",
+    "decode_evaluation",
+]
+
+
+# ----------------------------------------------------------------------
+# feature tables
+# ----------------------------------------------------------------------
+def encode_table(table: FeatureTable) -> dict:
+    return table_to_dict(table)
+
+
+def decode_table(data: dict) -> FeatureTable:
+    return table_from_dict(data)
+
+
+def _optional_array(values: object, dtype: type = float) -> np.ndarray | None:
+    return None if values is None else np.asarray(values, dtype=dtype)
+
+
+# ----------------------------------------------------------------------
+# labeling functions
+# ----------------------------------------------------------------------
+def encode_lf(lf: LabelingFunction) -> dict:
+    if lf.recipe is None:
+        raise CheckpointError(
+            f"labeling function {lf.name!r} (origin={lf.origin!r}) has no "
+            f"declarative recipe and cannot be checkpointed; only LFs built by "
+            f"conjunction_lf / numeric_threshold_lf are persistable"
+        )
+    return {"name": lf.name, "origin": lf.origin, "recipe": list(lf.recipe)}
+
+
+def decode_lf(data: dict) -> LabelingFunction:
+    recipe = data.get("recipe")
+    if not recipe:
+        raise CheckpointError(f"labeling-function record {data!r} lacks a recipe")
+    family = recipe[0]
+    if family == "conjunction":
+        _, feature, values, vote = recipe
+        return conjunction_lf(
+            data["name"], feature, frozenset(values), int(vote), origin=data["origin"]
+        )
+    if family == "numeric_threshold":
+        _, feature, threshold, vote, direction = recipe
+        return numeric_threshold_lf(
+            data["name"],
+            feature,
+            float(threshold),
+            int(vote),
+            direction=direction,
+            origin=data["origin"],
+        )
+    raise CheckpointError(f"unknown labeling-function recipe family {family!r}")
+
+
+# ----------------------------------------------------------------------
+# label matrix / label model / quality
+# ----------------------------------------------------------------------
+def encode_label_matrix(matrix: LabelMatrix) -> dict:
+    return {
+        "votes": matrix.votes.tolist(),
+        "lfs": [encode_lf(lf) for lf in matrix.lfs],
+    }
+
+
+def decode_label_matrix(data: dict) -> LabelMatrix:
+    lfs = [decode_lf(d) for d in data["lfs"]]
+    votes = np.asarray(data["votes"], dtype=np.int8)
+    if votes.size == 0:
+        votes = votes.reshape(0, len(lfs))
+    return LabelMatrix(votes, lfs)
+
+
+def encode_label_model(model: GenerativeLabelModel) -> dict:
+    return {
+        "class_balance": model.class_balance,
+        "max_iter": model.max_iter,
+        "tol": model.tol,
+        "smoothing": model.smoothing,
+        "polarity_consistent": model.polarity_consistent,
+        "conditionals": None
+        if model.conditionals_ is None
+        else model.conditionals_.tolist(),
+        "balance": model.balance_,
+    }
+
+
+def decode_label_model(data: dict) -> GenerativeLabelModel:
+    model = GenerativeLabelModel(
+        class_balance=data["class_balance"],
+        max_iter=int(data["max_iter"]),
+        tol=float(data["tol"]),
+        smoothing=float(data["smoothing"]),
+        polarity_consistent=bool(data["polarity_consistent"]),
+    )
+    model.conditionals_ = _optional_array(data["conditionals"])
+    model.balance_ = None if data["balance"] is None else float(data["balance"])
+    return model
+
+
+def _encode_quality(quality: WeakLabelQuality | None) -> dict | None:
+    if quality is None:
+        return None
+    return {
+        "precision": quality.precision,
+        "recall": quality.recall,
+        "f1": quality.f1,
+        "coverage": quality.coverage,
+        "n_points": quality.n_points,
+    }
+
+
+def _decode_quality(data: dict | None) -> WeakLabelQuality | None:
+    if data is None:
+        return None
+    return WeakLabelQuality(
+        precision=data["precision"],
+        recall=data["recall"],
+        f1=data["f1"],
+        coverage=data["coverage"],
+        n_points=int(data["n_points"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# curation result (stage B artifact)
+# ----------------------------------------------------------------------
+def encode_curation(curation) -> dict:
+    """Encode a :class:`~repro.core.pipeline.CurationResult`."""
+    return {
+        "lfs": [encode_lf(lf) for lf in curation.lfs],
+        "label_matrix": encode_label_matrix(curation.label_matrix),
+        "probabilistic_labels": curation.probabilistic_labels.tolist(),
+        "class_balance": curation.class_balance,
+        "dev_quality": _encode_quality(curation.dev_quality),
+        "propagation_scores": None
+        if curation.propagation_scores is None
+        else np.asarray(curation.propagation_scores).tolist(),
+        "label_model": None
+        if curation.label_model is None
+        else encode_label_model(curation.label_model),
+        "image_table_augmented": None
+        if curation.image_table_augmented is None
+        else encode_table(curation.image_table_augmented),
+        "dev_table_augmented": None
+        if curation.dev_table_augmented is None
+        else encode_table(curation.dev_table_augmented),
+    }
+
+
+def decode_curation(data: dict):
+    from repro.core.pipeline import CurationResult
+
+    return CurationResult(
+        lfs=[decode_lf(d) for d in data["lfs"]],
+        label_matrix=decode_label_matrix(data["label_matrix"]),
+        probabilistic_labels=np.asarray(data["probabilistic_labels"], dtype=float),
+        class_balance=float(data["class_balance"]),
+        dev_quality=_decode_quality(data["dev_quality"]),
+        propagation_scores=_optional_array(data["propagation_scores"]),
+        label_model=None
+        if data["label_model"] is None
+        else decode_label_model(data["label_model"]),
+        image_table_augmented=None
+        if data["image_table_augmented"] is None
+        else decode_table(data["image_table_augmented"]),
+        dev_table_augmented=None
+        if data["dev_table_augmented"] is None
+        else decode_table(data["dev_table_augmented"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# vectorizer / estimators / fusion models (stage C artifact)
+# ----------------------------------------------------------------------
+def _encode_vectorizer(vec: Vectorizer) -> dict:
+    if vec._slices is None:
+        raise CheckpointError("cannot checkpoint an unfitted Vectorizer")
+    return {
+        "schema": [_spec_to_dict(s) for s in vec.schema],
+        "max_vocab": vec.max_vocab,
+        "min_count": vec.min_count,
+        "add_presence": vec.add_presence,
+        "vocab": vec._vocab,
+        "numeric_stats": {k: list(v) for k, v in vec._numeric_stats.items()},
+        "embedding_stats": {
+            k: {"mean": m.tolist(), "std": s.tolist()}
+            for k, (m, s) in vec._embedding_stats.items()
+        },
+        "embedding_dim": vec._embedding_dim,
+        "slices": [[sl.name, sl.start, sl.stop] for sl in vec._slices],
+        "n_columns": vec._n_columns,
+    }
+
+
+def _decode_vectorizer(data: dict) -> Vectorizer:
+    from repro.features.schema import FeatureSchema
+
+    vec = Vectorizer(
+        FeatureSchema(_spec_from_dict(s) for s in data["schema"]),
+        max_vocab=int(data["max_vocab"]),
+        min_count=int(data["min_count"]),
+        add_presence=bool(data["add_presence"]),
+    )
+    vec._vocab = {
+        name: {token: int(i) for token, i in vocab.items()}
+        for name, vocab in data["vocab"].items()
+    }
+    vec._numeric_stats = {
+        name: (float(m), float(s)) for name, (m, s) in data["numeric_stats"].items()
+    }
+    vec._embedding_stats = {
+        name: (np.asarray(st["mean"], dtype=float), np.asarray(st["std"], dtype=float))
+        for name, st in data["embedding_stats"].items()
+    }
+    vec._embedding_dim = {name: int(d) for name, d in data["embedding_dim"].items()}
+    vec._slices = [
+        FeatureSlice(name, int(start), int(stop))
+        for name, start, stop in data["slices"]
+    ]
+    vec._n_columns = int(data["n_columns"])
+    return vec
+
+
+def _encode_estimator(model) -> dict:
+    if isinstance(model, MLPClassifier):
+        if model.weights_ is None or model.biases_ is None:
+            raise CheckpointError("cannot checkpoint an unfitted MLPClassifier")
+        return {
+            "family": "mlp",
+            "hidden_sizes": list(model.hidden_sizes),
+            "n_epochs": model.n_epochs,
+            "batch_size": model.batch_size,
+            "learning_rate": model.learning_rate,
+            "l2": model.l2,
+            "early_stopping_fraction": model.early_stopping_fraction,
+            "patience": model.patience,
+            "seed": model.seed,
+            "weights": [w.tolist() for w in model.weights_],
+            "biases": [b.tolist() for b in model.biases_],
+        }
+    if isinstance(model, LogisticRegression):
+        if model.coef_ is None:
+            raise CheckpointError("cannot checkpoint an unfitted LogisticRegression")
+        return {
+            "family": "logreg",
+            "l2": model.l2,
+            "learning_rate": model.learning_rate,
+            "n_epochs": model.n_epochs,
+            "tol": model.tol,
+            "seed": model.seed,
+            "coef": model.coef_.tolist(),
+            "intercept": model.intercept_,
+        }
+    raise CheckpointError(f"no estimator codec for {type(model).__name__}")
+
+
+def _decode_estimator(data: dict):
+    family = data.get("family")
+    if family == "mlp":
+        model = MLPClassifier(
+            hidden_sizes=tuple(data["hidden_sizes"]),
+            n_epochs=int(data["n_epochs"]),
+            batch_size=int(data["batch_size"]),
+            learning_rate=float(data["learning_rate"]),
+            l2=float(data["l2"]),
+            early_stopping_fraction=float(data["early_stopping_fraction"]),
+            patience=int(data["patience"]),
+            seed=int(data["seed"]),
+        )
+        model.weights_ = [np.asarray(w, dtype=float) for w in data["weights"]]
+        model.biases_ = [np.asarray(b, dtype=float) for b in data["biases"]]
+        return model
+    if family == "logreg":
+        model = LogisticRegression(
+            l2=float(data["l2"]),
+            learning_rate=float(data["learning_rate"]),
+            n_epochs=int(data["n_epochs"]),
+            tol=float(data["tol"]),
+            seed=int(data["seed"]),
+        )
+        model.coef_ = np.asarray(data["coef"], dtype=float)
+        model.intercept_ = float(data["intercept"])
+        return model
+    raise CheckpointError(f"unknown estimator family {family!r}")
+
+
+def _restored_factory():
+    raise CheckpointError(
+        "this model was restored from a checkpoint; its model_factory was not "
+        "persisted, so it can predict but not refit — retrain from a fresh run "
+        "to change it"
+    )
+
+
+def encode_model(model) -> dict:
+    """Encode a fitted fusion model (Early/Intermediate/DeViSE)."""
+    if isinstance(model, EarlyFusion):
+        if model.vectorizer_ is None or model.model_ is None:
+            raise CheckpointError("cannot checkpoint an unfitted EarlyFusion")
+        return {
+            "family": "early",
+            "max_vocab": model.max_vocab,
+            "vectorizer": _encode_vectorizer(model.vectorizer_),
+            "model": _encode_estimator(model.model_),
+        }
+    if isinstance(model, IntermediateFusion):
+        if model.vectorizers_ is None or model.models_ is None or model.head_ is None:
+            raise CheckpointError("cannot checkpoint an unfitted IntermediateFusion")
+        return {
+            "family": "intermediate",
+            "max_vocab": model.max_vocab,
+            "vectorizers": [_encode_vectorizer(v) for v in model.vectorizers_],
+            "models": [_encode_estimator(m) for m in model.models_],
+            "head": _encode_estimator(model.head_),
+        }
+    if isinstance(model, DeViSE):
+        if model.projection_ is None:
+            raise CheckpointError("cannot checkpoint an unfitted DeViSE")
+        return {
+            "family": "devise",
+            "max_vocab": model.max_vocab,
+            "ridge": model.ridge,
+            "vectorizer_a": _encode_vectorizer(model.vectorizer_a_),
+            "vectorizer_b": _encode_vectorizer(model.vectorizer_b_),
+            "model_a": _encode_estimator(model.model_a_),
+            "model_b": _encode_estimator(model.model_b_),
+            "projection": model.projection_.tolist(),
+        }
+    raise CheckpointError(f"no model codec for {type(model).__name__}")
+
+
+def decode_model(data: dict):
+    family = data.get("family")
+    if family == "early":
+        model = EarlyFusion(_restored_factory, max_vocab=int(data["max_vocab"]))
+        model.vectorizer_ = _decode_vectorizer(data["vectorizer"])
+        model.model_ = _decode_estimator(data["model"])
+        return model
+    if family == "intermediate":
+        model = IntermediateFusion(_restored_factory, max_vocab=int(data["max_vocab"]))
+        model.vectorizers_ = [_decode_vectorizer(v) for v in data["vectorizers"]]
+        model.models_ = [_decode_estimator(m) for m in data["models"]]
+        model.head_ = _decode_estimator(data["head"])
+        return model
+    if family == "devise":
+        model = DeViSE(
+            _restored_factory,
+            ridge=float(data["ridge"]),
+            max_vocab=int(data["max_vocab"]),
+        )
+        model.vectorizer_a_ = _decode_vectorizer(data["vectorizer_a"])
+        model.vectorizer_b_ = _decode_vectorizer(data["vectorizer_b"])
+        model.model_a_ = _decode_estimator(data["model_a"])
+        model.model_b_ = _decode_estimator(data["model_b"])
+        model.projection_ = np.asarray(data["projection"], dtype=float)
+        return model
+    raise CheckpointError(f"unknown model family {family!r}")
+
+
+# ----------------------------------------------------------------------
+# evaluation (stage D artifact)
+# ----------------------------------------------------------------------
+def encode_evaluation(metrics: dict[str, float], scores: np.ndarray) -> dict:
+    return {"metrics": dict(metrics), "scores": np.asarray(scores).tolist()}
+
+
+def decode_evaluation(data: dict) -> tuple[dict[str, float], np.ndarray]:
+    return dict(data["metrics"]), np.asarray(data["scores"], dtype=float)

@@ -1,0 +1,196 @@
+"""Per-run manifest: which stages completed, under what configuration.
+
+The manifest is the run's durable source of truth.  Each stage record
+holds:
+
+* ``status`` — only ``"complete"`` records are ever reused;
+* ``fingerprint`` — SHA-256 over the canonical JSON of the stage's
+  effective configuration (pipeline config slice, derived RNG seeds,
+  and the content hashes of the stage's *inputs*, so records chain like
+  a Merkle list: a changed upstream artifact invalidates everything
+  downstream);
+* ``config`` — the fingerprinted object itself, kept readable so an
+  operator can diff "why didn't this stage resume?";
+* ``artifacts`` — name → :class:`ArtifactRef` of the stage's outputs.
+
+The file is rewritten atomically after every stage completion, so a
+crash between stages leaves a manifest describing exactly the stages
+whose artifacts are durable.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.atomicio import atomic_write_json, canonical_json, sha256_hex
+from repro.core.exceptions import CheckpointError, IntegrityError
+from repro.runs.store import ArtifactRef
+
+__all__ = ["MANIFEST_VERSION", "StageRecord", "RunManifest", "stage_fingerprint"]
+
+#: bump when the manifest layout changes incompatibly
+MANIFEST_VERSION = 1
+
+
+def stage_fingerprint(context: dict, stage: str, config: object) -> str:
+    """Deterministic hash of a stage's effective configuration."""
+    return sha256_hex(
+        canonical_json({"context": context, "stage": stage, "config": config}).encode(
+            "utf-8"
+        )
+    )
+
+
+@dataclass
+class StageRecord:
+    """One stage's completion record inside the manifest."""
+
+    name: str
+    status: str
+    fingerprint: str
+    config: object
+    artifacts: dict[str, ArtifactRef] = field(default_factory=dict)
+    wall_time_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "fingerprint": self.fingerprint,
+            "config": self.config,
+            "artifacts": {k: v.to_dict() for k, v in self.artifacts.items()},
+            "wall_time_s": self.wall_time_s,
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, data: dict) -> "StageRecord":
+        try:
+            return cls(
+                name=name,
+                status=str(data["status"]),
+                fingerprint=str(data["fingerprint"]),
+                config=data.get("config"),
+                artifacts={
+                    k: ArtifactRef.from_dict(v)
+                    for k, v in data.get("artifacts", {}).items()
+                },
+                wall_time_s=float(data.get("wall_time_s", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed stage record {name!r} in run manifest: {exc}"
+            ) from exc
+
+
+class RunManifest:
+    """The ``manifest.json`` of one run directory."""
+
+    FILENAME = "manifest.json"
+
+    def __init__(self, path: Path, context: dict, created_at: float) -> None:
+        self.path = path
+        self.context = context
+        self.created_at = created_at
+        self.stages: dict[str, StageRecord] = {}
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, run_dir: str | Path, context: dict) -> "RunManifest":
+        """Start a fresh manifest in ``run_dir`` and persist it."""
+        run_dir = Path(run_dir)
+        manifest = cls(run_dir / cls.FILENAME, dict(context), time.time())
+        manifest.save()
+        return manifest
+
+    @classmethod
+    def load(cls, run_dir: str | Path) -> "RunManifest":
+        """Load an existing manifest, validating version and structure.
+
+        A truncated or malformed manifest raises
+        :class:`IntegrityError` — resuming from a manifest that cannot
+        be trusted would silently recompute or, worse, mix runs.
+        """
+        path = Path(run_dir) / cls.FILENAME
+        if not path.exists():
+            raise CheckpointError(f"no run manifest at {path}")
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise IntegrityError(
+                f"run manifest {path} is not valid JSON (truncated write?): {exc}. "
+                f"The manifest is written atomically, so this indicates external "
+                f"modification; start a fresh --run-dir."
+            ) from exc
+        version = data.get("format_version") if isinstance(data, dict) else None
+        if version != MANIFEST_VERSION:
+            raise IntegrityError(
+                f"run manifest {path} has format version {version!r}; this build "
+                f"reads version {MANIFEST_VERSION}. Start a fresh --run-dir."
+            )
+        manifest = cls(
+            path, dict(data.get("context", {})), float(data.get("created_at", 0.0))
+        )
+        for name, record in data.get("stages", {}).items():
+            manifest.stages[name] = StageRecord.from_dict(name, record)
+        return manifest
+
+    @classmethod
+    def exists(cls, run_dir: str | Path) -> bool:
+        return (Path(run_dir) / cls.FILENAME).exists()
+
+    def save(self) -> None:
+        """Atomically rewrite the manifest file."""
+        atomic_write_json(
+            self.path,
+            {
+                "format_version": MANIFEST_VERSION,
+                "created_at": self.created_at,
+                "context": self.context,
+                "stages": {
+                    name: record.to_dict() for name, record in self.stages.items()
+                },
+            },
+            indent=2,
+        )
+
+    # ------------------------------------------------------------------
+    # stage bookkeeping
+    # ------------------------------------------------------------------
+    def completed(self, name: str, fingerprint: str) -> StageRecord | None:
+        """The stage's record iff it completed under ``fingerprint``.
+
+        A fingerprint mismatch (config/seed/input skew) returns ``None``
+        — the stage must recompute, which also re-fingerprints every
+        downstream stage through the input-hash chain.
+        """
+        record = self.stages.get(name)
+        if record is None or record.status != "complete":
+            return None
+        if record.fingerprint != fingerprint:
+            return None
+        return record
+
+    def record_stage(
+        self,
+        name: str,
+        fingerprint: str,
+        config: object,
+        artifacts: dict[str, ArtifactRef],
+        wall_time_s: float = 0.0,
+    ) -> StageRecord:
+        """Mark ``name`` complete and persist the manifest atomically."""
+        record = StageRecord(
+            name=name,
+            status="complete",
+            fingerprint=fingerprint,
+            config=config,
+            artifacts=dict(artifacts),
+            wall_time_s=wall_time_s,
+        )
+        self.stages[name] = record
+        self.save()
+        return record

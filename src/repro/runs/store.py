@@ -1,0 +1,179 @@
+"""Content-hashed, crash-safe artifact store for pipeline runs.
+
+Every stage output is persisted as an *artifact*: a file named by the
+SHA-256 of its bytes, written atomically (temp + fsync + rename).  The
+hash in the artifact's :class:`ArtifactRef` is the integrity contract —
+:meth:`RunStore.get_bytes` re-hashes what it reads and, on mismatch,
+moves the file into ``quarantine/`` and raises
+:class:`~repro.core.exceptions.IntegrityError` instead of returning
+corrupt data or silently recomputing.
+
+JSON artifacts travel inside a small envelope ``{format_version, kind,
+data}`` so version skew and kind confusion are detected before any
+payload is decoded.  Binary artifacts (pickled MapReduce partitions)
+skip the envelope; their integrity rests on the content hash alone.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import repro.obs as obs
+from repro.core.atomicio import atomic_write_bytes, sha256_hex
+from repro.core.exceptions import CheckpointError, IntegrityError
+
+__all__ = ["ArtifactRef", "RunStore", "ARTIFACT_FORMAT_VERSION"]
+
+#: bump when the artifact envelope layout changes incompatibly
+ARTIFACT_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ArtifactRef:
+    """Pointer to one stored artifact: its content hash, declared kind,
+    and size in bytes.  Serializes to/from a plain dict for manifests."""
+
+    hash: str
+    kind: str
+    size: int
+
+    def to_dict(self) -> dict:
+        return {"hash": self.hash, "kind": self.kind, "size": self.size}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ArtifactRef":
+        try:
+            return cls(
+                hash=str(data["hash"]), kind=str(data["kind"]), size=int(data["size"])
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed artifact reference {data!r}: {exc}"
+            ) from exc
+
+
+class RunStore:
+    """Artifact store rooted at ``<root>/artifacts``.
+
+    Files are immutable once written (their name is their hash), so
+    re-putting identical content is a no-op and concurrent writers of
+    the same content cannot conflict.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.artifact_dir = self.root / "artifacts"
+        self.quarantine_dir = self.root / "quarantine"
+        self.artifact_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # raw bytes
+    # ------------------------------------------------------------------
+    def _path_for(self, digest: str, kind: str) -> Path:
+        suffix = ".json" if not kind.endswith(".pkl") else ".pkl"
+        return self.artifact_dir / f"{digest}{suffix}"
+
+    def put_bytes(self, kind: str, data: bytes) -> ArtifactRef:
+        """Store raw bytes; returns the content-addressed reference."""
+        digest = sha256_hex(data)
+        path = self._path_for(digest, kind)
+        if not path.exists():
+            with obs.span("runs.artifact.save", kind=kind, bytes=len(data)):
+                atomic_write_bytes(path, data)
+            obs.add_counter("runs.artifacts_saved")
+            obs.add_counter("runs.artifact_bytes_saved", len(data))
+        return ArtifactRef(hash=digest, kind=kind, size=len(data))
+
+    def get_bytes(self, ref: ArtifactRef) -> bytes:
+        """Read and verify an artifact's bytes.
+
+        Hash mismatches quarantine the file and raise
+        :class:`IntegrityError`; a missing file raises
+        :class:`CheckpointError`.
+        """
+        path = self._path_for(ref.hash, ref.kind)
+        if not path.exists():
+            raise CheckpointError(
+                f"artifact {ref.hash[:12]}… ({ref.kind}) is missing from {self.artifact_dir}"
+            )
+        with obs.span("runs.artifact.load", kind=ref.kind):
+            data = path.read_bytes()
+            actual = sha256_hex(data)
+            if actual != ref.hash:
+                quarantined = self.quarantine(path)
+                raise IntegrityError(
+                    f"artifact {ref.hash[:12]}… ({ref.kind}) failed its integrity "
+                    f"check: stored bytes hash to {actual[:12]}…; the corrupt file "
+                    f"was quarantined at {quarantined}. Delete the stage entry from "
+                    f"the run manifest (or start a fresh --run-dir) to recompute it.",
+                    quarantined=quarantined,
+                )
+        obs.add_counter("runs.artifacts_loaded")
+        obs.add_counter("runs.artifact_bytes_loaded", len(data))
+        return data
+
+    def quarantine(self, path: Path) -> Path:
+        """Move a corrupt file out of the store (never delete evidence)."""
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        target = self.quarantine_dir / path.name
+        n = 0
+        while target.exists():
+            n += 1
+            target = self.quarantine_dir / f"{path.name}.{n}"
+        path.rename(target)
+        obs.add_counter("runs.artifacts_quarantined")
+        return target
+
+    # ------------------------------------------------------------------
+    # JSON envelope
+    # ------------------------------------------------------------------
+    def put_json(self, kind: str, payload: object) -> ArtifactRef:
+        """Store a JSON-serializable payload under an integrity envelope."""
+        envelope = {
+            "format_version": ARTIFACT_FORMAT_VERSION,
+            "kind": kind,
+            "data": payload,
+        }
+        data = json.dumps(envelope, separators=(",", ":")).encode("utf-8")
+        return self.put_bytes(kind, data)
+
+    def get_json(self, ref: ArtifactRef) -> object:
+        """Load a JSON artifact, validating envelope version and kind.
+
+        Truncated or non-JSON content is quarantined (the hash matched,
+        so the file's *content* was bad at write time — version skew or
+        a buggy encoder) and raised as :class:`IntegrityError`.
+        """
+        data = self.get_bytes(ref)
+        path = self._path_for(ref.hash, ref.kind)
+        try:
+            envelope = json.loads(data.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            quarantined = self.quarantine(path)
+            raise IntegrityError(
+                f"artifact {ref.hash[:12]}… ({ref.kind}) is not valid JSON "
+                f"({exc}); quarantined at {quarantined}",
+                quarantined=quarantined,
+            ) from exc
+        if not isinstance(envelope, dict) or "data" not in envelope:
+            quarantined = self.quarantine(path)
+            raise IntegrityError(
+                f"artifact {ref.hash[:12]}… ({ref.kind}) lacks the artifact "
+                f"envelope; quarantined at {quarantined}",
+                quarantined=quarantined,
+            )
+        version = envelope.get("format_version")
+        if version != ARTIFACT_FORMAT_VERSION:
+            raise IntegrityError(
+                f"artifact {ref.hash[:12]}… ({ref.kind}) has format version "
+                f"{version!r}; this build reads version {ARTIFACT_FORMAT_VERSION}. "
+                f"Re-run without --resume to rebuild the run with this version."
+            )
+        if envelope.get("kind") != ref.kind:
+            raise IntegrityError(
+                f"artifact {ref.hash[:12]}… declares kind {envelope.get('kind')!r} "
+                f"but was referenced as {ref.kind!r}"
+            )
+        return envelope["data"]

@@ -51,8 +51,42 @@ def test_schema_metadata_survives(tiny_text_table, tmp_path):
 def test_unknown_version_rejected(tiny_text_table):
     data = table_to_dict(tiny_text_table.select_rows([0]))
     data["format_version"] = 99
-    with pytest.raises(SchemaError):
+    with pytest.raises(SchemaError) as exc:
         table_from_dict(data)
+    assert "99" in str(exc.value)
+
+
+def test_truncated_file_raises_schema_error(tiny_text_table, tmp_path):
+    path = tmp_path / "table.json"
+    save_table(tiny_text_table.select_rows([0, 1]), path)
+    path.write_text(path.read_text()[: path.stat().st_size // 2])
+    with pytest.raises(SchemaError) as exc:
+        load_table(path)
+    assert "JSON" in str(exc.value)
+
+
+def test_malformed_document_raises_schema_error(tiny_text_table):
+    with pytest.raises(SchemaError):
+        table_from_dict("not even a dict")
+    data = table_to_dict(tiny_text_table.select_rows([0]))
+    del data["schema"]
+    with pytest.raises(SchemaError) as exc:
+        table_from_dict(data)
+    assert "malformed" in str(exc.value)
+
+
+def test_save_table_is_atomic(tiny_text_table, tmp_path):
+    """A save over an existing file either fully succeeds or leaves the
+    old contents; no partial file and no stray temp files."""
+    path = tmp_path / "table.json"
+    small = tiny_text_table.select_rows([0, 1])
+    save_table(small, path)
+    before = path.read_bytes()
+    save_table(tiny_text_table.select_rows([2, 3]), path)
+    after = path.read_bytes()
+    assert before != after
+    assert list(tmp_path.iterdir()) == [path]  # no temp leftovers
+    load_table(path)  # replacement is complete and loadable
 
 
 def test_loaded_table_is_usable(tiny_text_table, tmp_path):
