@@ -1,0 +1,83 @@
+"""Benchmark: featurization wall-clock per execution backend.
+
+Featurizes the same corpus with the same seed on the serial, thread,
+and process backends and records per-backend wall-clock plus the
+relative speedups in ``BENCH_exec_backends.json``.  Equivalence (the
+backends producing byte-identical tables) is asserted here too — a
+benchmark that silently measured divergent computations would be
+meaningless.
+
+Note on interpretation: thread-backend speedups are bounded by the GIL
+(the featurization inner loops are numpy-light Python), and process
+speedups require real cores — on single-CPU CI runners both parallel
+backends measure close to (or below, from pool overhead) 1.0x, which is
+expected and not regression-gated.
+"""
+
+import json
+import os
+import time
+
+from conftest import run_once
+
+from repro.datagen.tasks import classification_task, generate_task_corpora
+from repro.exec import BACKENDS, ExecutorConfig
+from repro.features.io import table_to_dict
+from repro.resources.featurize import featurize_corpus
+from repro.resources.service_sets import build_resource_suite
+
+
+def test_bench_exec_backends(benchmark, scale, seed, report, artifact):
+    workers = int(os.environ.get("REPRO_BENCH_EXEC_WORKERS", "4"))
+    feat_scale = min(scale, 0.2)  # one corpus featurized 3x: keep it modest
+    world, task, splits = generate_task_corpora(
+        classification_task("CT1"), scale=feat_scale, seed=seed
+    )
+    resources = list(build_resource_suite(world, task, n_history=5000, seed=seed))
+    corpus = splits.image_unlabeled
+
+    timings: dict[str, float] = {}
+    encodings: dict[str, str] = {}
+
+    def run_all():
+        for backend in BACKENDS:
+            executor = ExecutorConfig(
+                backend=backend, workers=1 if backend == "serial" else workers
+            )
+            t0 = time.perf_counter()
+            table = featurize_corpus(corpus, resources, seed=seed, executor=executor)
+            timings[backend] = time.perf_counter() - t0
+            encodings[backend] = json.dumps(
+                table_to_dict(table), sort_keys=True, default=str
+            )
+        return timings
+
+    run_once(benchmark, run_all, artifact)
+
+    # the benchmark is only meaningful if all backends computed the
+    # same artifact
+    assert encodings["thread"] == encodings["serial"]
+    assert encodings["process"] == encodings["serial"]
+
+    artifact.record(
+        n_points=len(corpus.points),
+        n_resources=len(resources),
+        workers=workers,
+        cpu_count=os.cpu_count(),
+        **{f"{b}_seconds": round(t, 4) for b, t in timings.items()},
+        thread_speedup=round(timings["serial"] / timings["thread"], 4),
+        process_speedup=round(timings["serial"] / timings["process"], 4),
+    )
+    lines = [
+        f"execution backends — featurize {len(corpus.points)} points x "
+        f"{len(resources)} resources (workers={workers}, "
+        f"cpus={os.cpu_count()})"
+    ]
+    for backend in BACKENDS:
+        rel = timings["serial"] / timings[backend]
+        lines.append(f"  {backend:<8} {timings[backend]:7.2f}s  ({rel:.2f}x serial)")
+    report("\n".join(lines))
+
+    # shape: all three backends completed and produced timings
+    assert set(timings) == set(BACKENDS)
+    assert all(t > 0 for t in timings.values())

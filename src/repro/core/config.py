@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.exceptions import ConfigurationError
+from repro.exec import ExecutorConfig
 
 __all__ = ["CurationConfig", "TrainingConfig", "PipelineConfig"]
 
@@ -114,9 +115,26 @@ class PipelineConfig:
     training: TrainingConfig = field(default_factory=TrainingConfig)
     seed: int = 0
     n_threads: int = 1
+    #: execution backend for the parallel stages (featurize, LF
+    #: application, graph build); the default serial/1-worker config
+    #: defers to the legacy ``n_threads`` knob
+    executor: ExecutorConfig = field(default_factory=ExecutorConfig)
 
     def __post_init__(self) -> None:
         if not self.model_service_sets:
             raise ConfigurationError("model_service_sets must not be empty")
         if not self.lf_service_sets:
             raise ConfigurationError("lf_service_sets must not be empty")
+
+    def effective_executor(self) -> ExecutorConfig:
+        """The executor the pipeline actually runs with.
+
+        An explicitly configured backend wins; the default config plus
+        ``n_threads > 1`` keeps the pre-executor behaviour (a thread
+        pool of ``n_threads`` workers).
+        """
+        if self.executor != ExecutorConfig():
+            return self.executor
+        if self.n_threads > 1:
+            return ExecutorConfig(backend="thread", workers=self.n_threads)
+        return self.executor

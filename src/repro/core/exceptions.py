@@ -70,6 +70,11 @@ class CircuitOpenError(ServiceUnavailableError):
     """A circuit breaker short-circuited the call without dialing out."""
 
 
+class ExecutorError(ReproError):
+    """An execution backend could not run a task set (unpicklable task,
+    broken worker pool, ...)."""
+
+
 class CheckpointError(ReproError):
     """A run checkpoint could not be written, read, or reconstructed."""
 
@@ -87,6 +92,11 @@ class IntegrityError(CheckpointError):
         super().__init__(message)
         #: path the corrupt artifact was moved to, when applicable
         self.quarantined = quarantined
+
+    def __reduce__(self):
+        # default Exception pickling replays args only; keep the
+        # quarantine path when the error crosses a process boundary
+        return (type(self), (self.args[0] if self.args else "", self.quarantined))
 
 
 class SimulatedCrashError(ReproError):
@@ -109,3 +119,7 @@ class RecordError(ReproError):
         super().__init__(message)
         self.record = record
         self.index = index
+
+    def __reduce__(self):
+        # preserve record/index when raised inside a process-pool worker
+        return (type(self), (self.args[0] if self.args else "", self.record, self.index))

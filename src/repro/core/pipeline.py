@@ -32,6 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runs.checkpoint import RunCheckpointer
 from repro.core.exceptions import ConfigurationError
 from repro.core.rng import derive_seed, spawn
+from repro.exec import ExecutorConfig
 from repro.datagen.corpus import Corpus, CorpusSplits
 from repro.datagen.entities import Modality
 from repro.datagen.world import TaskRuntime, World
@@ -117,6 +118,17 @@ class CrossModalPipeline:
         self.catalog = catalog
         self.config = config or PipelineConfig()
         self.schema = catalog.schema()
+        #: resolved execution backend for the parallel stages
+        self.executor = self.config.effective_executor()
+        # LF closures capture mined predicates and cannot pickle, so LF
+        # application caps out at the thread backend even when the rest
+        # of the pipeline runs on processes.
+        if self.executor.backend == "process":
+            self._lf_executor = ExecutorConfig(
+                backend="thread", workers=self.executor.workers
+            )
+        else:
+            self._lf_executor = self.executor
 
     # ------------------------------------------------------------------
     # step A: feature generation
@@ -135,6 +147,7 @@ class CrossModalPipeline:
             seed=derive_seed(self.config.seed, "featurize"),
             include_labels=include_labels,
             n_threads=self.config.n_threads,
+            executor=self.executor,
         )
 
     # ------------------------------------------------------------------
@@ -222,8 +235,14 @@ class CrossModalPipeline:
                 "enable mining or propagation, or loosen thresholds"
             )
 
-        matrix = apply_lfs(lfs, image_aug, n_threads=self.config.n_threads)
-        dev_matrix = apply_lfs(lfs, dev_aug, n_threads=self.config.n_threads)
+        matrix = apply_lfs(
+            lfs, image_aug, n_threads=self.config.n_threads,
+            executor=self._lf_executor,
+        )
+        dev_matrix = apply_lfs(
+            lfs, dev_aug, n_threads=self.config.n_threads,
+            executor=self._lf_executor,
+        )
         if cfg.use_generative_model:
             # anchor the LF conditional tables to their old-modality
             # dev-set estimates (§4.2: labeled data of existing
@@ -354,6 +373,7 @@ class CrossModalPipeline:
                 k=cfg.graph_k,
                 feature_weights={"org_embedding": cfg.graph_embedding_weight},
             ),
+            executor=self.executor,
         )
 
         n_seed = seed_table.n_rows

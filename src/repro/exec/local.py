@@ -1,0 +1,71 @@
+"""In-process executors: serial and thread-pool.
+
+:class:`SerialExecutor` is the reference implementation every other
+backend must match byte-for-byte.  :class:`ThreadExecutor` helps when
+tasks release the GIL (numpy/scipy kernels, simulated I/O waits); for
+pure-Python work the process backend is the one that scales.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+import repro.obs as obs
+from repro.exec.base import Executor
+
+__all__ = ["SerialExecutor", "ThreadExecutor"]
+
+
+class SerialExecutor(Executor):
+    """Run every task inline on the calling thread (the baseline)."""
+
+    backend = "serial"
+    workers = 1
+
+    def imap_ordered(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        chunk_size: int | None = None,
+    ) -> Iterator[Any]:
+        obs.add_counter("exec.serial.tasks", len(items))
+        return (fn(item) for item in items)
+
+
+class ThreadExecutor(Executor):
+    """Run tasks on a :class:`ThreadPoolExecutor`.
+
+    The pool is created per map call (its lifetime is the map), sized
+    ``min(workers, len(items))``.  ``pool.map`` already yields results
+    in submission order and re-raises the earliest-ordered task
+    exception, which is exactly the executor contract.
+    """
+
+    backend = "thread"
+
+    def __init__(self, workers: int = 2) -> None:
+        self.workers = max(int(workers), 1)
+
+    def imap_ordered(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        chunk_size: int | None = None,
+    ) -> Iterator[Any]:
+        items = list(items)
+        if not items:
+            return iter(())
+        obs.add_counter("exec.thread.tasks", len(items))
+        if self.workers == 1 or len(items) == 1:
+            return (fn(item) for item in items)
+        pool = ThreadPoolExecutor(max_workers=min(self.workers, len(items)))
+
+        def results() -> Iterator[Any]:
+            try:
+                yield from pool.map(fn, items)
+            finally:
+                pool.shutdown(wait=True)
+
+        return results()

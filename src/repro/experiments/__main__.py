@@ -36,6 +36,18 @@ Observability (see DESIGN.md "Observability"):
                        the experiments finish
 
     python -m repro.experiments end_to_end --trace trace.json --profile
+
+Execution backends (see DESIGN.md "Execution backends"):
+
+    --backend B        serial | thread | process — executor for the
+                       parallel pipeline stages (end_to_end)
+    --workers N        worker count for thread/process backends
+
+    python -m repro.experiments end_to_end --backend process --workers 4
+
+All backends produce byte-identical artifacts (the differential suite
+in tests/test_exec_equivalence.py enforces this), so the backend is a
+pure performance knob.
 """
 
 from __future__ import annotations
@@ -44,6 +56,7 @@ import argparse
 import sys
 
 import repro.obs as obs
+from repro.exec import BACKENDS, ExecutorConfig
 from repro.experiments.ablations import render_ablations, run_all_ablations
 from repro.experiments.chaos import run_chaos, run_crash_resume
 from repro.experiments.end_to_end import run_end_to_end, run_figure5, run_table2
@@ -98,8 +111,15 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
                                 keep_dir=args.run_dir).render()
     if name == "end_to_end":
         task = (args.tasks or ["CT1"])[0]
+        executor = None
+        if args.backend is not None or args.workers is not None:
+            executor = ExecutorConfig(
+                backend=args.backend or "thread",
+                workers=args.workers if args.workers is not None else 1,
+            )
         return run_end_to_end(task=task, scale=scale, seed=seed,
-                              run_dir=args.run_dir, resume=args.resume).render()
+                              run_dir=args.run_dir, resume=args.resume,
+                              executor=executor).render()
     raise ValueError(f"unknown experiment {name!r}")
 
 
@@ -132,6 +152,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--resume", action="store_true",
                         help="resume an interrupted checkpointed run from "
                              "--run-dir, replaying completed stages")
+    parser.add_argument("--backend", choices=BACKENDS, default=None,
+                        help="execution backend for the parallel pipeline "
+                             "stages (end_to_end); all backends produce "
+                             "byte-identical artifacts")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker count for the thread/process backends")
     args = parser.parse_args(argv)
 
     tracer = None

@@ -27,6 +27,7 @@ from repro.experiments.common import (
 )
 from repro.datagen.entities import Modality
 from repro.datagen.tasks import list_tasks
+from repro.exec import ExecutorConfig
 from repro.experiments.reporting import render_table
 
 __all__ = [
@@ -208,6 +209,7 @@ def run_end_to_end(
     seed: int = 1,
     run_dir: str | None = None,
     resume: bool = False,
+    executor: "ExecutorConfig | None" = None,
 ) -> EndToEndRun:
     """Run the full pipeline (featurize -> curate -> train -> evaluate)
     once on one task.
@@ -222,6 +224,11 @@ def run_end_to_end(
     them — bit-identically, since all stage RNG streams derive from the
     recorded seeds.  A ``result.json`` with the headline numbers is
     written atomically into the run directory on completion.
+
+    ``executor`` selects the execution backend for the parallel stages.
+    Backends produce byte-identical artifacts, so the checkpoint context
+    deliberately excludes the backend: a run interrupted on one backend
+    can resume on another.
     """
     from pathlib import Path
 
@@ -248,7 +255,12 @@ def run_end_to_end(
     task_config = classification_task(task)
     world, task_rt, splits = generate_task_corpora(task_config, scale=scale, seed=seed)
     catalog = build_resource_suite(world, task_rt, n_history=10_000, seed=seed)
-    pipeline = CrossModalPipeline(world, task_rt, catalog, PipelineConfig(seed=seed))
+    config = (
+        PipelineConfig(seed=seed)
+        if executor is None
+        else PipelineConfig(seed=seed, executor=executor)
+    )
+    pipeline = CrossModalPipeline(world, task_rt, catalog, config)
     result = pipeline.run(splits, checkpoint=checkpoint)
     run = EndToEndRun(
         task=task,

@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.core.exceptions import LabelingError
 from repro.dataflow.mapreduce import run_map
+from repro.exec import Executor, ExecutorConfig
 from repro.features.table import FeatureTable
 from repro.labeling.lf import ABSTAIN, LabelingFunction
 
@@ -99,11 +100,16 @@ def apply_lfs(
     lfs: list[LabelingFunction],
     table: FeatureTable,
     n_threads: int = 1,
+    executor: Executor | ExecutorConfig | str | None = None,
 ) -> LabelMatrix:
     """Apply ``lfs`` to every row of ``table``.
 
     LFs see the raw feature row (including nonservable features — the
     whole point of the offline curation step).
+
+    LF vote functions are closures over mined predicates and do not
+    pickle, so ``executor`` must be a serial or thread backend (callers
+    on the process backend downgrade to threads for this step).
     """
     if not lfs:
         raise LabelingError("apply_lfs requires at least one LF")
@@ -112,6 +118,9 @@ def apply_lfs(
         return [lf(row) for lf in lfs]
 
     rows = list(table.iter_rows())
-    votes = np.array(run_map(rows, vote_row, n_threads=n_threads), dtype=np.int8)
+    votes = np.array(
+        run_map(rows, vote_row, n_threads=n_threads, executor=executor),
+        dtype=np.int8,
+    )
     votes = votes.reshape(len(rows), len(lfs))
     return LabelMatrix(votes, lfs)

@@ -104,7 +104,13 @@ class Histogram:
 
 
 class Span:
-    """One timed region with attached counters, gauges, and histograms."""
+    """One timed region with attached counters, gauges, and histograms.
+
+    Metric mutation is thread-safe: a span shared across worker threads
+    (the tracer root is, via the module-level ``obs.add_counter`` /
+    ``obs.observe`` helpers) serializes its read-modify-write updates
+    through a per-span lock, so no increment is ever lost to a race.
+    """
 
     __slots__ = (
         "name",
@@ -116,6 +122,7 @@ class Span:
         "start_wall",
         "_start",
         "_end",
+        "_lock",
     )
 
     def __init__(self, name: str, attrs: dict[str, Any] | None = None) -> None:
@@ -128,13 +135,16 @@ class Span:
         self.start_wall = time.time()
         self._start = time.perf_counter()
         self._end: float | None = None
+        self._lock = threading.Lock()
 
     # -- metrics -------------------------------------------------------
     def add_counter(self, name: str, value: float = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + value
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
 
     def set_gauge(self, name: str, value: Any) -> None:
-        self.gauges[name] = value
+        with self._lock:
+            self.gauges[name] = value
 
     def observe(
         self,
@@ -142,10 +152,11 @@ class Span:
         value: float,
         bounds: tuple[float, ...] = DEFAULT_BUCKETS,
     ) -> None:
-        hist = self.histograms.get(name)
-        if hist is None:
-            hist = self.histograms[name] = Histogram(bounds)
-        hist.record(value)
+        with self._lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram(bounds)
+            hist.record(value)
 
     # -- timing --------------------------------------------------------
     @property

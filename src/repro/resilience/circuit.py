@@ -68,6 +68,15 @@ class CircuitBreaker:
         self.short_circuits = 0
         self._lock = threading.Lock()
 
+    def __getstate__(self) -> dict:
+        # locks don't pickle; each process-pool worker gets its own
+        state = {k: v for k, v in self.__dict__.items() if k != "_lock"}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     @property
     def state(self) -> CircuitState:
         with self._lock:

@@ -38,6 +38,13 @@ class StaleValueCache:
         self._values: dict[tuple[str, int], object] = {}
         self._lock = threading.Lock()
 
+    def __getstate__(self) -> dict:
+        return {"_values": self._values}
+
+    def __setstate__(self, state: dict) -> None:
+        self._values = state["_values"]
+        self._lock = threading.Lock()
+
     def put(self, service: str, point_id: int, value: object) -> None:
         with self._lock:
             self._values[(service, point_id)] = value

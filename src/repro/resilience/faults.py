@@ -103,6 +103,13 @@ class ServiceClient(OrganizationalResource):
         self._attempts: dict[int, int] = defaultdict(int)
         self._lock = threading.Lock()
 
+    def __getstate__(self) -> dict:
+        return {k: v for k, v in self.__dict__.items() if k != "_lock"}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def reset(self) -> None:
         """Clear attempt counters so a rerun replays the same schedule."""
         with self._lock:

@@ -207,6 +207,13 @@ class ResiliencePolicy:
         self._health: dict[str, ServiceHealth] = {}
         self._lock = threading.Lock()
 
+    def __getstate__(self) -> dict:
+        return {k: v for k, v in self.__dict__.items() if k != "_lock"}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     # ------------------------------------------------------------------
     # state accessors
     # ------------------------------------------------------------------

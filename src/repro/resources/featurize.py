@@ -25,6 +25,7 @@ from collections.abc import Iterable
 import repro.obs as obs
 from repro.core.rng import spawn
 from repro.dataflow.mapreduce import run_map
+from repro.exec import Executor, ExecutorConfig
 from repro.datagen.corpus import Corpus
 from repro.datagen.entities import DataPoint
 from repro.features.schema import FeatureSchema
@@ -85,6 +86,68 @@ def featurize_point(
     return row
 
 
+class _PlainFeaturizeTask:
+    """Picklable per-point featurization task (no policy, untraced).
+
+    A module-level task object — not a closure — so the process backend
+    can ship it to workers; its state is the resource list and the
+    featurization seed, which is all the determinism contract needs.
+    """
+
+    __slots__ = ("resources", "seed")
+
+    def __init__(
+        self, resources: list[OrganizationalResource], seed: int
+    ) -> None:
+        self.resources = resources
+        self.seed = seed
+
+    def __call__(self, point: DataPoint) -> dict[str, object]:
+        return featurize_point(point, self.resources, seed=self.seed)
+
+
+class _RichFeaturizeTask:
+    """Picklable per-point task collecting degradation events and
+    (optionally) per-service latencies alongside the feature row.
+
+    Events and latencies return *as data* and are folded into the
+    report / trace on the coordinator, so process workers — which carry
+    neither the tracer nor the shared policy object — lose no
+    accounting.  Per-worker policy state (breakers, health) is a copy;
+    feature values stay bit-identical because every attempt re-derives
+    its value RNG from the recorded seeds.
+    """
+
+    __slots__ = ("resources", "seed", "policy", "collect_latencies")
+
+    def __init__(
+        self,
+        resources: list[OrganizationalResource],
+        seed: int,
+        policy: ResiliencePolicy | None,
+        collect_latencies: bool,
+    ) -> None:
+        self.resources = resources
+        self.seed = seed
+        self.policy = policy
+        self.collect_latencies = collect_latencies
+
+    def __call__(
+        self, point: DataPoint
+    ) -> tuple[dict[str, object], list, list]:
+        local_events: list[DegradationEvent] = []
+        local_latencies: list[tuple[str, float]] = []
+        row = featurize_point(
+            point,
+            self.resources,
+            seed=self.seed,
+            policy=self.policy,
+            events=local_events,
+            latencies=local_latencies if self.collect_latencies else None,
+        )
+        return row, local_events, local_latencies
+
+
 def featurize_corpus(
     corpus: Corpus,
     resources: list[OrganizationalResource],
@@ -92,6 +155,7 @@ def featurize_corpus(
     include_labels: bool = False,
     n_threads: int = 1,
     policy: ResiliencePolicy | None = None,
+    executor: Executor | ExecutorConfig | str | None = None,
 ) -> FeatureTable:
     """Featurize a corpus into a row-aligned :class:`FeatureTable`.
 
@@ -102,6 +166,11 @@ def featurize_corpus(
     With a ``policy``, the run survives service faults: failed cells
     degrade per the policy and ``table.degradation`` reports every
     retried or degraded (point, resource) pair in row order.
+
+    ``executor`` selects the execution backend (serial, thread, or
+    process); every point's value derives from its own
+    ``(seed, point, resource)`` RNG stream and rows merge in input
+    order, so all backends produce the byte-identical table.
     """
     schema = FeatureSchema(r.spec for r in resources)
     traced = obs.enabled()
@@ -116,28 +185,18 @@ def featurize_corpus(
         if policy is None and not traced:
             rows = run_map(
                 corpus.points,
-                lambda point: featurize_point(point, resources, seed=seed),
+                _PlainFeaturizeTask(resources, seed),
                 n_threads=n_threads,
+                executor=executor,
             )
             report = None
         else:
-
-            def _one(
-                point: DataPoint,
-            ) -> tuple[dict[str, object], list, list]:
-                local_events: list[DegradationEvent] = []
-                local_latencies: list[tuple[str, float]] = []
-                row = featurize_point(
-                    point,
-                    resources,
-                    seed=seed,
-                    policy=policy,
-                    events=local_events,
-                    latencies=local_latencies if traced else None,
-                )
-                return row, local_events, local_latencies
-
-            mapped = run_map(corpus.points, _one, n_threads=n_threads)
+            mapped = run_map(
+                corpus.points,
+                _RichFeaturizeTask(resources, seed, policy, collect_latencies=traced),
+                n_threads=n_threads,
+                executor=executor,
+            )
             rows = [row for row, _, _ in mapped]
             if policy is None:
                 report = None

@@ -12,7 +12,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.exceptions import ResourceError
-from repro.datagen.entities import DataPoint, ImagePayload, Modality, TextPayload, VideoPayload
+from repro.datagen.entities import (
+    DataPoint,
+    ImagePayload,
+    LatentState,
+    Modality,
+    TextPayload,
+    VideoPayload,
+)
 from repro.features.schema import FeatureKind, FeatureSpec
 from repro.resources.base import ChannelNoise, LatentCategoricalService, OrganizationalResource
 
@@ -34,13 +41,48 @@ __all__ = [
 ]
 
 
+# Latent extractors are module-level callables (not lambdas) so every
+# service — and therefore the featurization tasks that carry them — can
+# pickle onto the process execution backend.
+def _latent_topics(latent: LatentState) -> tuple[int, ...]:
+    return latent.topics
+
+
+def _latent_entities(latent: LatentState) -> tuple[int, ...]:
+    return latent.entities
+
+
+def _latent_objects(latent: LatentState) -> tuple[int, ...]:
+    return latent.objects
+
+
+def _latent_url_category(latent: LatentState) -> tuple[int, ...]:
+    return (latent.url_category,)
+
+
+def _latent_page_categories(latent: LatentState) -> tuple[int, ...]:
+    return latent.page_categories
+
+
+class _TaxonomyExtractor:
+    """Maps topic ids onto a coarse org taxonomy (picklable callable)."""
+
+    __slots__ = ("n_categories",)
+
+    def __init__(self, n_categories: int) -> None:
+        self.n_categories = n_categories
+
+    def __call__(self, latent: LatentState) -> tuple[int, ...]:
+        return tuple(sorted({t % self.n_categories for t in latent.topics}))
+
+
 class TopicModelService(LatentCategoricalService):
     """Org-wide topic model applied directly to the data point."""
 
     def __init__(self, spec: FeatureSpec, n_topics: int) -> None:
         super().__init__(
             spec,
-            extractor=lambda latent: latent.topics,
+            extractor=_latent_topics,
             universe=n_topics,
             prefix="t",
             noise={
@@ -57,9 +99,7 @@ class ContentCategoryService(LatentCategoricalService):
     def __init__(self, spec: FeatureSpec, n_topics: int, n_categories: int = 12) -> None:
         super().__init__(
             spec,
-            extractor=lambda latent: tuple(
-                sorted({t % n_categories for t in latent.topics})
-            ),
+            extractor=_TaxonomyExtractor(n_categories),
             universe=n_categories,
             prefix="cat",
             noise={
@@ -76,7 +116,7 @@ class NamedEntityService(LatentCategoricalService):
     def __init__(self, spec: FeatureSpec, n_entities: int) -> None:
         super().__init__(
             spec,
-            extractor=lambda latent: latent.entities,
+            extractor=_latent_entities,
             universe=n_entities,
             prefix="e",
             noise={
@@ -94,7 +134,7 @@ class ObjectDetectionService(LatentCategoricalService):
     def __init__(self, spec: FeatureSpec, n_objects: int) -> None:
         super().__init__(
             spec,
-            extractor=lambda latent: latent.objects,
+            extractor=_latent_objects,
             universe=n_objects,
             prefix="o",
             noise={
@@ -162,7 +202,7 @@ class UrlCategoryService(LatentCategoricalService):
     def __init__(self, spec: FeatureSpec, n_url_categories: int) -> None:
         super().__init__(
             spec,
-            extractor=lambda latent: (latent.url_category,),
+            extractor=_latent_url_category,
             universe=n_url_categories,
             prefix="u",
             noise={},
@@ -175,7 +215,7 @@ class PageCategoryService(LatentCategoricalService):
     def __init__(self, spec: FeatureSpec, n_page_categories: int) -> None:
         super().__init__(
             spec,
-            extractor=lambda latent: latent.page_categories,
+            extractor=_latent_page_categories,
             universe=n_page_categories,
             prefix="p",
             noise={
@@ -193,7 +233,7 @@ class PageTopicService(LatentCategoricalService):
     def __init__(self, spec: FeatureSpec, n_topics: int) -> None:
         super().__init__(
             spec,
-            extractor=lambda latent: latent.topics,
+            extractor=_latent_topics,
             universe=n_topics,
             prefix="t",
             noise={
@@ -210,7 +250,7 @@ class PageEntityService(LatentCategoricalService):
     def __init__(self, spec: FeatureSpec, n_entities: int) -> None:
         super().__init__(
             spec,
-            extractor=lambda latent: latent.entities,
+            extractor=_latent_entities,
             universe=n_entities,
             prefix="e",
             noise={

@@ -1,0 +1,195 @@
+"""Property-based backend equivalence: random MapReduce programs with
+injected record failures must produce identical outputs and identical
+``failed_records`` / ``retried_records`` accounting on the serial,
+thread, and process backends.
+
+Mapper/combiner/reducer programs are drawn from a small space of
+picklable building blocks (module-level task objects, never closures)
+so every generated program is legal on the process backend.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import RecordError
+from repro.dataflow.mapreduce import MapReduceJob, run_map
+from repro.exec import ExecutorConfig
+
+PARALLEL_BACKENDS = (
+    ExecutorConfig(backend="thread", workers=3),
+    ExecutorConfig(backend="process", workers=2),
+)
+
+
+class _ModMapper:
+    """record -> [(record % m, record * scale)], failing on multiples of
+    ``poison`` (``0`` disables poisoning)."""
+
+    __slots__ = ("m", "scale", "poison")
+
+    def __init__(self, m, scale, poison):
+        self.m = m
+        self.scale = scale
+        self.poison = poison
+
+    def __call__(self, record):
+        if self.poison and record % self.poison == 0:
+            raise ValueError(f"poisoned {record}")
+        return [(record % self.m, record * self.scale)]
+
+
+class _FlakyFirstAttempt:
+    """Fails the first attempt for every record, succeeds on retry.
+
+    Carries per-record attempt state *inside the task object*: under
+    the process backend each worker holds its own copy, but retries of
+    one record always happen on the worker that owns it, so the
+    schedule — first attempt fails, retry succeeds — is identical on
+    every backend.
+    """
+
+    __slots__ = ("seen",)
+
+    def __init__(self):
+        self.seen = Counter()
+
+    def __call__(self, record):
+        self.seen[record] += 1
+        if self.seen[record] == 1:
+            raise OSError(f"transient fault for {record}")
+        return record + 1000
+
+
+def _sum_combiner(key, values):
+    return [sum(values)]
+
+
+def _identity_combiner(key, values):
+    return list(values)
+
+
+def _total_reducer(key, values):
+    return sum(values)
+
+
+def _list_reducer(key, values):
+    return list(values)
+
+
+_COMBINERS = (None, _sum_combiner, _identity_combiner)
+_REDUCERS = (_total_reducer, _list_reducer)
+
+
+def _run_job(records, mapper, combiner, reducer, n_partitions, executor):
+    job = MapReduceJob(
+        mapper=mapper,
+        reducer=reducer,
+        combiner=combiner,
+        n_partitions=n_partitions,
+        skip_bad_records=True,
+        record_retries=0,
+        executor=executor,
+    )
+    output = job.run(records)
+    return output, dict(job.counters)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    records=st.lists(st.integers(min_value=-50, max_value=200), max_size=60),
+    m=st.integers(min_value=1, max_value=9),
+    scale=st.integers(min_value=-3, max_value=3),
+    poison=st.sampled_from([0, 2, 5, 7]),
+    combiner_index=st.integers(min_value=0, max_value=len(_COMBINERS) - 1),
+    reducer_index=st.integers(min_value=0, max_value=len(_REDUCERS) - 1),
+    n_partitions=st.integers(min_value=1, max_value=6),
+)
+def test_random_mapreduce_programs_agree_across_backends(
+    records, m, scale, poison, combiner_index, reducer_index, n_partitions
+):
+    mapper = _ModMapper(m, scale, poison)
+    combiner = _COMBINERS[combiner_index]
+    reducer = _REDUCERS[reducer_index]
+    base_output, base_counters = _run_job(
+        records, mapper, combiner, reducer, n_partitions, ExecutorConfig()
+    )
+    for executor in PARALLEL_BACKENDS:
+        output, counters = _run_job(
+            records, mapper, combiner, reducer, n_partitions, executor
+        )
+        assert output == base_output
+        assert counters == base_counters
+    if poison:
+        assert base_counters["failed_records"] == len(
+            [r for r in records if r % poison == 0]
+        )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    records=st.lists(st.integers(min_value=0, max_value=500), max_size=50),
+    poison=st.sampled_from([2, 3, 7]),
+)
+def test_run_map_failure_accounting_agrees_across_backends(records, poison):
+    mapper = _ModMapper(3, 1, poison)
+    base_counters: dict[str, int] = {}
+    base = run_map(
+        records,
+        mapper,
+        skip_bad_records=True,
+        error_value=None,
+        counters=base_counters,
+    )
+    for executor in PARALLEL_BACKENDS:
+        counters: dict[str, int] = {}
+        result = run_map(
+            records,
+            mapper,
+            skip_bad_records=True,
+            error_value=None,
+            counters=counters,
+            executor=executor,
+        )
+        assert result == base
+        assert counters == base_counters
+
+
+@settings(max_examples=8, deadline=None)
+@given(records=st.lists(st.integers(min_value=0, max_value=300), min_size=1, max_size=40, unique=True))
+def test_retried_records_agree_across_backends(records):
+    """Every record fails once then succeeds: retried_records must equal
+    the record count on every backend, and outputs must match."""
+    base_counters: dict[str, int] = {}
+    base = run_map(
+        records, _FlakyFirstAttempt(), record_retries=1, counters=base_counters
+    )
+    assert base == [r + 1000 for r in records]
+    assert base_counters["retried_records"] == len(records)
+    assert base_counters["failed_records"] == 0
+    for executor in PARALLEL_BACKENDS:
+        counters: dict[str, int] = {}
+        result = run_map(
+            records,
+            _FlakyFirstAttempt(),
+            record_retries=1,
+            counters=counters,
+            executor=executor,
+        )
+        assert result == base
+        assert counters == base_counters
+
+
+def test_error_identity_is_backend_free():
+    """Without skip_bad_records the earliest poisoned record's error
+    surfaces, carrying the same record/index on every backend."""
+    records = [1, 5, 14, 21, 35]  # poison=7 -> first failure at index 2
+    mapper = _ModMapper(3, 1, 7)
+    failures = []
+    for executor in (ExecutorConfig(),) + PARALLEL_BACKENDS:
+        with pytest.raises(RecordError) as excinfo:
+            run_map(records, mapper, executor=executor)
+        failures.append((excinfo.value.index, excinfo.value.record))
+    assert failures == [(2, 14)] * 3

@@ -246,3 +246,96 @@ def test_run_map_retries_flaky_fn():
     assert out == [r + 1 for r in range(8)]
     assert counters["retried_records"] == 8
     assert counters["failed_records"] == 0
+
+
+# ----------------------------------------------------------------------
+# counter aggregation: no lost increments under concurrency
+# ----------------------------------------------------------------------
+def test_span_counters_are_atomic_under_thread_hammer():
+    """Regression: Span.add_counter used a non-atomic read-modify-write,
+    so worker threads funnelling through the module-level
+    ``obs.add_counter`` (which lands on the shared tracer root span)
+    could lose increments.  Hammer one counter from many threads and
+    demand the exact total."""
+    import threading
+
+    import repro.obs as obs
+    from repro.obs import Tracer
+
+    tracer = obs.enable(Tracer("race"))
+    try:
+        n_threads, per_thread = 8, 2000
+
+        def hammer():
+            for _ in range(per_thread):
+                obs.add_counter("race.hits")
+                obs.observe("race.latency", 0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        totals = tracer.total_counters()
+        assert totals["race.hits"] == n_threads * per_thread
+        hist = tracer.root.histograms["race.latency"]
+        assert hist.count == n_threads * per_thread
+    finally:
+        obs.disable()
+
+
+def test_job_counters_identical_across_thread_counts():
+    """MapReduce counters are aggregated on the coordinator from
+    per-partition Counter payloads, so totals cannot depend on worker
+    scheduling."""
+    records = list(range(150))
+
+    def run_with(n_threads):
+        job = MapReduceJob(
+            mapper=lambda r: [(r % 5, r)],
+            reducer=lambda key, values: len(values),
+            combiner=lambda key, values: values,
+            n_partitions=6,
+            n_threads=n_threads,
+        )
+        job.run(records)
+        return dict(job.counters)
+
+    serial = run_with(1)
+    assert serial["records_mapped"] == len(records)
+    for n_threads in (2, 4, 8):
+        assert run_with(n_threads) == serial
+
+
+def test_traced_job_counters_match_untraced(tmp_path):
+    """Tracing must observe, not perturb: the same job traced and
+    untraced reports identical job counters, and the traced span tree's
+    per-partition counters sum to the job totals."""
+    import repro.obs as obs
+    from repro.obs import Tracer
+
+    records = list(range(60))
+
+    def build():
+        return MapReduceJob(
+            mapper=lambda r: [(r % 3, r)],
+            reducer=lambda key, values: sum(values),
+            n_partitions=4,
+            n_threads=4,
+        )
+
+    untraced = build()
+    untraced.run(records)
+
+    tracer = obs.enable(Tracer("t"))
+    try:
+        traced = build()
+        traced.run(records)
+    finally:
+        obs.disable()
+    assert traced.counters == untraced.counters
+
+    spans = tracer.find_spans("mapreduce.partition")
+    assert len(spans) == 4
+    mapped_total = sum(s.counters.get("records_mapped", 0) for s in spans)
+    assert mapped_total == traced.counters["records_mapped"]
