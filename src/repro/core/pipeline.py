@@ -313,6 +313,30 @@ class CrossModalPipeline:
                 best_weight = weight
         return best_weight
 
+    def graph_config(self, table: FeatureTable | None = None) -> GraphConfig:
+        """The :class:`GraphConfig` the curation stage builds with.
+
+        ``table`` (the combined graph table, when already known) filters
+        the embedding weight boost down to features the table actually
+        carries — the graph build rejects weights for absent features.
+
+        The table-free form feeds the curate-stage checkpoint
+        fingerprint: approximate graph backends change *results*, so
+        checkpoints must never be reused across graph backends or their
+        parameters (the exec backend, a pure performance knob, is
+        deliberately excluded).
+        """
+        cfg = self.config.curation
+        weights = {"org_embedding": cfg.graph_embedding_weight}
+        if table is not None:
+            weights = {n: w for n, w in weights.items() if n in table.schema}
+        return GraphConfig(
+            k=cfg.graph_k,
+            feature_weights=weights,
+            backend=cfg.graph_backend,
+            seed=derive_seed(self.config.seed, "graph"),
+        )
+
     def _propagate(
         self,
         text_table: FeatureTable,
@@ -369,10 +393,7 @@ class CrossModalPipeline:
         )
         graph = build_knn_graph(
             combined,
-            GraphConfig(
-                k=cfg.graph_k,
-                feature_weights={"org_embedding": cfg.graph_embedding_weight},
-            ),
+            self.graph_config(table=combined),
             executor=self.executor,
         )
 
@@ -569,6 +590,10 @@ class CrossModalPipeline:
                     "curate",
                     config={
                         "curation": asdict(cfg.curation),
+                        # the full graph config: approximation changes
+                        # results, so backend + parameters invalidate
+                        # the checkpoint (exec backends do not)
+                        "graph": asdict(self.graph_config()),
                         "lf_service_sets": list(cfg.lf_service_sets),
                         "seed": cfg.seed,
                         "derived_seed": derive_seed(cfg.seed, "curate"),

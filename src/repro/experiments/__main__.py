@@ -14,6 +14,7 @@ Regenerate any of the paper's tables/figures from the shell:
     python -m repro.experiments chaos
     python -m repro.experiments crash
     python -m repro.experiments end_to_end
+    python -m repro.experiments scaling
     python -m repro.experiments all
 
 Checkpointing (see DESIGN.md "Checkpointing & crash recovery"):
@@ -48,6 +49,19 @@ Execution backends (see DESIGN.md "Execution backends"):
 All backends produce byte-identical artifacts (the differential suite
 in tests/test_exec_equivalence.py enforces this), so the backend is a
 pure performance knob.
+
+Graph backends (see DESIGN.md "Approximate graph construction"):
+
+    --graph-backend B  exact | lsh | nn-descent — kNN graph construction
+                       for the curation stage (end_to_end) and the
+                       scaling sweep; approximate backends change which
+                       candidate pairs are considered (never edge
+                       weights), so — unlike --backend — this knob IS
+                       part of the run fingerprint
+    --sizes N [N ...]  corpus sizes for the scaling sweep
+
+    python -m repro.experiments scaling --sizes 600 1200 2400
+    python -m repro.experiments end_to_end --graph-backend lsh
 """
 
 from __future__ import annotations
@@ -65,11 +79,13 @@ from repro.experiments.fusion_ablation import run_fusion_ablation
 from repro.experiments.label_prop import run_table3
 from repro.experiments.lesion import run_figure7
 from repro.experiments.lf_comparison import run_lf_comparison
+from repro.experiments.scaling import run_scaling
 from repro.experiments.table1 import run_table1
 
 _EXPERIMENTS = (
     "table1", "table2", "table3", "figure5", "figure6", "figure7",
     "fusion", "lf", "ablations", "chaos", "crash", "end_to_end",
+    "scaling",
 )
 
 
@@ -119,7 +135,22 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
             )
         return run_end_to_end(task=task, scale=scale, seed=seed,
                               run_dir=args.run_dir, resume=args.resume,
-                              executor=executor).render()
+                              executor=executor,
+                              graph_backend=args.graph_backend).render()
+    if name == "scaling":
+        executor = None
+        if args.backend is not None or args.workers is not None:
+            executor = ExecutorConfig(
+                backend=args.backend or "thread",
+                workers=args.workers if args.workers is not None else 1,
+            )
+        backends = (
+            (args.graph_backend,) if args.graph_backend is not None else None
+        )
+        return run_scaling(
+            sizes=args.sizes, backends=backends, seed=seed,
+            out_dir=args.run_dir, executor=executor,
+        ).render()
     raise ValueError(f"unknown experiment {name!r}")
 
 
@@ -158,6 +189,18 @@ def main(argv: list[str] | None = None) -> int:
                              "byte-identical artifacts")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker count for the thread/process backends")
+    from repro.propagation.builders import GRAPH_BACKENDS
+
+    parser.add_argument("--graph-backend", choices=sorted(GRAPH_BACKENDS),
+                        default=None,
+                        help="kNN graph construction backend (end_to_end: "
+                             "curation graph; scaling: restrict the sweep "
+                             "to this backend). Approximate backends change "
+                             "results, so checkpoints are not shared across "
+                             "graph backends")
+    parser.add_argument("--sizes", type=int, nargs="*", default=None,
+                        help="scaling: corpus sizes to sweep "
+                             "(default 600 1200 2400 4800 9600)")
     args = parser.parse_args(argv)
 
     tracer = None

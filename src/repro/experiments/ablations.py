@@ -161,7 +161,12 @@ def ablate_propagation_label_source(
         combined,
         GraphConfig(
             k=cfg.graph_k,
-            feature_weights={"org_embedding": cfg.graph_embedding_weight},
+            feature_weights={
+                name: cfg.graph_embedding_weight
+                for name in ("org_embedding",)
+                if name in combined.schema
+            },
+            backend=cfg.graph_backend,
         ),
     )
     prior = float(np.clip(text.labels.mean(), 1e-4, 0.5))

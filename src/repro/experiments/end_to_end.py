@@ -210,6 +210,7 @@ def run_end_to_end(
     run_dir: str | None = None,
     resume: bool = False,
     executor: "ExecutorConfig | None" = None,
+    graph_backend: str | None = None,
 ) -> EndToEndRun:
     """Run the full pipeline (featurize -> curate -> train -> evaluate)
     once on one task.
@@ -229,11 +230,17 @@ def run_end_to_end(
     Backends produce byte-identical artifacts, so the checkpoint context
     deliberately excludes the backend: a run interrupted on one backend
     can resume on another.
+
+    ``graph_backend`` selects kNN graph construction for the curation
+    stage (exact | lsh | nn-descent).  Unlike the exec backend it
+    changes results, so it IS part of the curate-stage fingerprint: a
+    checkpointed run never silently reuses a graph built by a different
+    backend.
     """
     from pathlib import Path
 
     from repro.core.atomicio import atomic_write_json
-    from repro.core.config import PipelineConfig
+    from repro.core.config import CurationConfig, PipelineConfig
     from repro.core.pipeline import CrossModalPipeline
     from repro.datagen.tasks import classification_task, generate_task_corpora
     from repro.resources.service_sets import build_resource_suite
@@ -255,11 +262,12 @@ def run_end_to_end(
     task_config = classification_task(task)
     world, task_rt, splits = generate_task_corpora(task_config, scale=scale, seed=seed)
     catalog = build_resource_suite(world, task_rt, n_history=10_000, seed=seed)
-    config = (
-        PipelineConfig(seed=seed)
-        if executor is None
-        else PipelineConfig(seed=seed, executor=executor)
-    )
+    config_kwargs: dict = {"seed": seed}
+    if executor is not None:
+        config_kwargs["executor"] = executor
+    if graph_backend is not None:
+        config_kwargs["curation"] = CurationConfig(graph_backend=graph_backend)
+    config = PipelineConfig(**config_kwargs)
     pipeline = CrossModalPipeline(world, task_rt, catalog, config)
     result = pipeline.run(splits, checkpoint=checkpoint)
     run = EndToEndRun(

@@ -12,19 +12,39 @@ A streaming single-pass approximation mirrors the Expander platform the
 paper uses in production.
 """
 
+from repro.propagation.builders import (
+    GRAPH_BACKENDS,
+    GraphBuilder,
+    get_graph_builder,
+    register_graph_backend,
+)
 from repro.propagation.graph import GraphConfig, SimilarityGraph, build_knn_graph
 from repro.propagation.propagate import LabelPropagation, PropagationResult
+from repro.propagation.recall import (
+    GraphQuality,
+    compare_graphs,
+    edge_weight_agreement,
+    neighbor_recall,
+    propagation_auprc_delta,
+)
 from repro.propagation.streaming import StreamingLabelPropagation
 from repro.propagation.lf_adapter import PROPAGATION_FEATURE, propagation_lfs, propagation_feature_spec
 
 __all__ = [
+    "GRAPH_BACKENDS",
+    "GraphBuilder",
     "GraphConfig",
+    "GraphQuality",
     "LabelPropagation",
     "PROPAGATION_FEATURE",
     "PropagationResult",
     "SimilarityGraph",
     "StreamingLabelPropagation",
     "build_knn_graph",
-    "propagation_feature_spec",
-    "propagation_lfs",
+    "compare_graphs",
+    "edge_weight_agreement",
+    "get_graph_builder",
+    "neighbor_recall",
+    "propagation_auprc_delta",
+    "register_graph_backend",
 ]

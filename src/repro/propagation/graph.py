@@ -1,18 +1,25 @@
 """Similarity-graph construction over a feature table.
 
-The graph uses the paper's Algorithm-1 weights, vectorized: for each
-block of rows we accumulate a dense (block, n) similarity numerator and
-denominator feature by feature — Jaccard for categorical features
-(computed via a sparse intersection matmul), normalized absolute
-difference for numeric features, and shifted cosine for embeddings —
-then keep the top-k neighbours per row.  Only features present on both
-endpoints contribute (matching :func:`algorithm1_similarity`), so
-text-image edges are weighted by exactly the features the two
-modalities share.
+The graph uses the paper's Algorithm-1 weights.  *Which* node pairs are
+considered is delegated to a pluggable :class:`GraphBuilder` backend
+(see :mod:`repro.propagation.builders`):
+
+* ``exact`` — the blockwise O(n²) sweep over every pair (the oracle);
+* ``lsh`` — random-hyperplane / minhash-banding candidate generation;
+* ``nn-descent`` — seeded neighbour-list refinement with local joins.
+
+Edge *weights* are always the exact Algorithm-1 similarity — for each
+pair the per-feature contributions are accumulated feature by feature
+(Jaccard for categorical features, normalized absolute difference for
+numeric features, and shifted cosine for embeddings), and only features
+present on both endpoints contribute (matching
+:func:`algorithm1_similarity`).  Approximate backends therefore change
+only the candidate set, never the weight of a surviving edge.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -34,8 +41,23 @@ class GraphConfig:
 
     ``features`` — feature names to build edges from (default: all in
     the table).  ``k`` — neighbours kept per node.  ``block_size`` —
-    rows per dense block (memory/speed trade-off).  ``min_weight`` —
-    edges below this similarity are dropped.
+    rows per dense block / per candidate shard (memory/speed
+    trade-off).  ``min_weight`` — edges below this similarity are
+    dropped.  ``backend`` selects the :class:`GraphBuilder` (``exact``,
+    ``lsh``, ``nn-descent``); ``seed`` feeds the approximate backends'
+    deterministic RNG streams (the exact backend ignores it).
+
+    LSH parameters: ``lsh_tables`` hash tables per hashing channel,
+    each combining ``lsh_bits`` random-hyperplane bits (embedding
+    channels) or ``lsh_band_rows`` minhash rows (categorical channels);
+    per node at most ``lsh_max_candidates`` bucket-mates are scored and
+    buckets larger than ``lsh_bucket_cap`` are subsampled.
+
+    NN-descent parameters: ``nnd_iters`` refinement iterations over
+    random-seeded neighbour lists, joining each node with the
+    neighbours of ``nnd_sample`` sampled (forward + reverse)
+    neighbours; iteration stops early once the fraction of updated
+    lists falls below ``nnd_tol``.
     """
 
     features: tuple[str, ...] | None = None
@@ -43,6 +65,50 @@ class GraphConfig:
     block_size: int = 512
     min_weight: float = 0.05
     feature_weights: dict[str, float] = field(default_factory=dict)
+    backend: str = "exact"
+    seed: int = 0
+    # --- lsh backend ---------------------------------------------------
+    lsh_tables: int = 12
+    lsh_bits: int = 8
+    lsh_band_rows: int = 2
+    lsh_max_candidates: int = 128
+    lsh_bucket_cap: int = 128
+    # --- nn-descent backend --------------------------------------------
+    nnd_iters: int = 8
+    nnd_sample: int = 12
+    nnd_tol: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise GraphError(f"k must be >= 1, got {self.k}")
+        if self.block_size < 1:
+            raise GraphError(f"block_size must be >= 1, got {self.block_size}")
+        if not 0.0 <= self.min_weight <= 1.0:
+            raise GraphError(
+                f"min_weight must be in [0, 1], got {self.min_weight}"
+            )
+        for name, weight in self.feature_weights.items():
+            if not math.isfinite(weight) or weight <= 0:
+                raise GraphError(
+                    f"feature weight for {name!r} must be a positive finite "
+                    f"number, got {weight}"
+                )
+        for attr in (
+            "lsh_tables", "lsh_bits", "lsh_band_rows",
+            "lsh_max_candidates", "lsh_bucket_cap",
+            "nnd_iters", "nnd_sample",
+        ):
+            if getattr(self, attr) < 1:
+                raise GraphError(f"{attr} must be >= 1, got {getattr(self, attr)}")
+        if self.nnd_tol < 0:
+            raise GraphError(f"nnd_tol must be >= 0, got {self.nnd_tol}")
+        from repro.propagation.builders import GRAPH_BACKENDS
+
+        if self.backend not in GRAPH_BACKENDS:
+            raise GraphError(
+                f"unknown graph backend {self.backend!r}; "
+                f"available: {sorted(GRAPH_BACKENDS)}"
+            )
 
 
 @dataclass
@@ -108,9 +174,10 @@ class _FeatureChannel:
 
     def _categorical_block(self, block: slice) -> np.ndarray:
         assert self.binary is not None and self.set_sizes is not None
-        inter = np.asarray(
-            (self.binary[block] @ self.binary.T).todense(), dtype=np.float32
-        )
+        # binary is float32 CSR, so the intersection matmul stays float32
+        # end-to-end; .toarray() avoids the np.matrix round-trip (and its
+        # extra dense copy) that .todense() incurs
+        inter = (self.binary[block] @ self.binary.T).toarray()
         sizes_block = self.set_sizes[block][:, None]
         union = sizes_block + self.set_sizes[None, :] - inter
         sim = np.zeros_like(inter)
@@ -131,6 +198,66 @@ class _FeatureChannel:
         assert self.matrix is not None
         cosine = self.matrix[block] @ self.matrix.T
         return (0.5 * (cosine + 1.0)).astype(np.float32)
+
+    def accumulate_pairs(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        numerator: np.ndarray,
+        denominator: np.ndarray,
+    ) -> None:
+        """Accumulate this channel's contribution for explicit pairs.
+
+        The sparse analogue of :meth:`accumulate`: instead of a dense
+        (block, n) panel, only the given ``(rows[i], cols[i])`` pairs
+        are scored — this is what lets approximate backends score their
+        candidate pairs with the exact Algorithm-1 similarity.
+        """
+        present = self.present
+        assert present is not None
+        co_present = (present[rows] & present[cols]).astype(np.float32)
+        if not co_present.any():
+            return
+        if self.kind is FeatureKind.CATEGORICAL:
+            assert self.binary is not None and self.set_sizes is not None
+            inter = np.asarray(
+                self.binary[rows].multiply(self.binary[cols]).sum(axis=1),
+                dtype=np.float32,
+            ).ravel()
+            sizes_i = self.set_sizes[rows]
+            sizes_j = self.set_sizes[cols]
+            union = sizes_i + sizes_j - inter
+            sim = np.zeros_like(inter)
+            nonzero = union > 0
+            sim[nonzero] = inter[nonzero] / union[nonzero]
+            sim[(sizes_i == 0) & (sizes_j == 0)] = 1.0
+        elif self.kind is FeatureKind.NUMERIC:
+            assert self.values is not None
+            diff = np.abs(self.values[rows] - self.values[cols])
+            sim = np.clip(1.0 - diff / self.value_range, 0.0, 1.0).astype(
+                np.float32
+            )
+        else:
+            assert self.matrix is not None
+            cosine = (self.matrix[rows] * self.matrix[cols]).sum(axis=1)
+            sim = (0.5 * (cosine + 1.0)).astype(np.float32)
+        numerator += self.weight * sim * co_present
+        denominator += self.weight * co_present
+
+
+def score_pairs(
+    channels: list[_FeatureChannel], rows: np.ndarray, cols: np.ndarray
+) -> np.ndarray:
+    """Exact Algorithm-1 similarity for explicit ``(rows[i], cols[i])``
+    pairs, accumulated over all channels (float32, in [0, 1])."""
+    numerator = np.zeros(len(rows), dtype=np.float32)
+    denominator = np.zeros(len(rows), dtype=np.float32)
+    for channel in channels:
+        channel.accumulate_pairs(rows, cols, numerator, denominator)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(denominator > 0, numerator / denominator, 0.0).astype(
+            np.float32
+        )
 
 
 def _build_channels(
@@ -157,7 +284,11 @@ def _build_channels(
                 if value is MISSING:
                     continue
                 sizes[i] = len(value)  # type: ignore[arg-type]
-                for token in value:  # type: ignore[union-attr]
+                # sorted: vocab index assignment must not depend on set
+                # iteration order (PYTHONHASHSEED) — minhash keys hash
+                # these indices, so LSH candidates would otherwise vary
+                # across processes (Jaccard itself never notices)
+                for token in sorted(value):  # type: ignore[arg-type]
                     j = vocab.setdefault(token, len(vocab))
                     rows.append(i)
                     cols.append(j)
@@ -243,6 +374,47 @@ class _GraphBlockTask:
         )
 
 
+def _shard_bounds(n: int, block_size: int) -> list[tuple[int, int]]:
+    """Contiguous node shards; fixed by (n, block_size) so shard RNG
+    streams are identical regardless of the executor backend."""
+    return [
+        (start, min(start + block_size, n)) for start in range(0, n, block_size)
+    ]
+
+
+def _edges_to_graph(
+    rows: np.ndarray, cols: np.ndarray, weights: np.ndarray, n: int
+) -> SimilarityGraph:
+    """Symmetrize directed kNN edges (max weight per pair) into a graph."""
+    adjacency = sparse.csr_matrix((weights, (rows, cols)), shape=(n, n))
+    adjacency = adjacency.maximum(adjacency.T)
+    adjacency.setdiag(0.0)
+    adjacency.eliminate_zeros()
+    return SimilarityGraph(adjacency=adjacency.tocsr(), n_nodes=n)
+
+
+def _validate_graph_features(table: FeatureTable, config: GraphConfig) -> None:
+    """Reject names that do not exist in the table's schema — today a
+    bad name would otherwise fail deep inside a block task."""
+    if config.features is not None:
+        unknown = [n for n in config.features if n not in table.schema]
+        if unknown:
+            raise GraphError(
+                f"unknown graph feature(s) {unknown!r}; "
+                f"table has {sorted(table.schema.names)}"
+            )
+    names = (
+        set(config.features) if config.features is not None
+        else set(table.feature_names)
+    )
+    unknown = [n for n in config.feature_weights if n not in names]
+    if unknown:
+        raise GraphError(
+            f"feature_weights refer to unknown graph feature(s) {unknown!r}; "
+            f"graph features are {sorted(names)}"
+        )
+
+
 def build_knn_graph(
     table: FeatureTable,
     config: GraphConfig | None = None,
@@ -254,48 +426,39 @@ def build_knn_graph(
     similarity); the union of directed kNN edges is symmetrized by
     taking the maximum weight per pair.
 
-    ``executor`` parallelizes the blockwise similarity pass; every
-    block is an independent pure task and edges concatenate in block
-    order, so the adjacency matrix is byte-identical on the serial,
-    thread, and process backends.
+    ``config.backend`` selects the :class:`GraphBuilder`: ``exact``
+    considers every pair (O(n²), the oracle); ``lsh`` and
+    ``nn-descent`` consider a sub-quadratic candidate set but score
+    candidates with the same exact similarity.  Approximate backends
+    are deterministic for a fixed ``config.seed``.
+
+    ``executor`` parallelizes the candidate/similarity pass; every
+    shard is an independent pure task with its own derived RNG stream
+    and shards merge in shard order, so each backend's graph is
+    byte-identical on the serial, thread, and process executors.
     """
+    from repro.propagation.builders import get_graph_builder
+
     config = config or GraphConfig()
     n = table.n_rows
     if n < 2:
         raise GraphError(f"need at least 2 nodes to build a graph, got {n}")
+    _validate_graph_features(table, config)
     k = min(config.k, n - 1)
+    builder = get_graph_builder(config.backend)
     ex = as_executor(executor)
-    with obs.span("graph.build_knn", n_nodes=n, k=k, backend=ex.backend) as sp:
-        channels = _build_channels(table, config)
+    with obs.span(
+        "graph.build_knn",
+        n_nodes=n,
+        k=k,
+        backend=ex.backend,
+        graph_backend=config.backend,
+    ) as sp:
+        with obs.span("graph.channels"):
+            channels = _build_channels(table, config)
         if not channels:
             raise GraphError("no features available for graph construction")
         sp.set_gauge("n_features", len(channels))
-
-        bounds = [
-            (start, min(start + config.block_size, n))
-            for start in range(0, n, config.block_size)
-        ]
-        task = _GraphBlockTask(channels, n, k, config.min_weight)
-        rows_out: list[np.ndarray] = []
-        cols_out: list[np.ndarray] = []
-        weights_out: list[np.ndarray] = []
-        for block_rows, block_cols, block_weights, n_below in ex.imap_ordered(
-            task, bounds
-        ):
-            sp.add_counter("blocks", 1)
-            sp.add_counter("edges_below_min_weight", n_below)
-            rows_out.append(block_rows)
-            cols_out.append(block_cols)
-            weights_out.append(block_weights)
-
-        rows = np.concatenate(rows_out)
-        cols = np.concatenate(cols_out)
-        weights = np.concatenate(weights_out)
-        adjacency = sparse.csr_matrix((weights, (rows, cols)), shape=(n, n))
-        # symmetrize with max weight per pair
-        adjacency = adjacency.maximum(adjacency.T)
-        adjacency.setdiag(0.0)
-        adjacency.eliminate_zeros()
-        graph = SimilarityGraph(adjacency=adjacency.tocsr(), n_nodes=n)
+        graph = builder.build(channels, n, k, config, ex, sp)
         sp.set_gauge("n_edges", graph.n_edges())
     return graph

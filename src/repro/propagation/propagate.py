@@ -87,8 +87,15 @@ class LabelPropagation:
         scores = np.full(n, self.prior)
         scores[seed_indices] = seed_labels.astype(float)
 
-        # track which nodes any seed mass has reached
-        reached = is_seed.copy()
+        # seed mass can only ever reach a node sharing a component with a
+        # seed, so one connected-components pass replaces the per-sweep
+        # frontier matvec the loop used to carry
+        n_components, component = sparse.csgraph.connected_components(
+            W, directed=False
+        )
+        seed_components = np.zeros(n_components, dtype=bool)
+        seed_components[component[seed_indices]] = True
+        reached = seed_components[component]
         converged = False
         iteration = 0
         with obs.span(
@@ -99,7 +106,6 @@ class LabelPropagation:
                 # isolated nodes keep their current score
                 new_scores[degree == 0] = scores[degree == 0]
                 new_scores[is_seed] = seed_labels.astype(float)
-                reached = reached | (np.asarray((W @ reached.astype(float))).ravel() > 0)
                 delta = float(np.abs(new_scores - scores).max())
                 scores = new_scores
                 if delta < self.tol:

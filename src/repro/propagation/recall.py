@@ -1,0 +1,181 @@
+"""Recall/quality oracle for approximate graph backends.
+
+The ``exact`` backend considers every node pair, so its graph is the
+ground truth for *which* neighbours a node should have.  Approximate
+backends trade candidate coverage for speed; this module measures what
+that trade costs along the three axes that matter for the paper's
+curation pipeline:
+
+* :func:`neighbor_recall` — of the oracle's (symmetrized) neighbours,
+  what fraction does the approximate graph keep?  This is the standard
+  ANN quality metric (recall@k against the exact kNN).
+* :func:`edge_weight_agreement` — approximate backends score candidate
+  pairs with the exact Algorithm-1 similarity, so a surviving edge
+  carries the oracle's weight up to float32 summation order (the
+  oracle's blockwise path uses dense BLAS, the candidate path gathers
+  per pair).  The maximum divergence over shared edges is a
+  correctness probe for that invariant: more than a few float32 ulps
+  (~1e-7) means a backend is scoring with a different weight function.
+* :func:`propagation_auprc_delta` — the downstream check: run the same
+  label propagation over both graphs and compare AUPRC of the
+  propagated scores against ground-truth labels.  A missing low-weight
+  edge that never changes a propagation outcome is a good trade; this
+  metric is what licenses it.
+
+:func:`compare_graphs` bundles the structural metrics into a
+:class:`GraphQuality` record (the scaling experiment serializes it into
+``BENCH_scaling.json``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.core.exceptions import GraphError
+from repro.models.metrics import auprc
+from repro.propagation.graph import SimilarityGraph
+from repro.propagation.propagate import LabelPropagation
+
+__all__ = [
+    "GraphQuality",
+    "compare_graphs",
+    "edge_weight_agreement",
+    "neighbor_recall",
+    "propagation_auprc_delta",
+]
+
+
+@dataclass(frozen=True)
+class GraphQuality:
+    """Structural agreement between an approximate graph and the oracle.
+
+    ``neighbor_recall`` — mean per-node recall of oracle neighbours.
+    ``edge_recall`` / ``edge_precision`` — edge-set overlap rates.
+    ``max_weight_divergence`` — max |w_approx − w_oracle| over shared
+    edges (0.0 whenever the exact-scoring invariant holds).
+    ``n_edges`` / ``n_oracle_edges`` — undirected edge counts.
+    """
+
+    neighbor_recall: float
+    edge_recall: float
+    edge_precision: float
+    max_weight_divergence: float
+    n_edges: int
+    n_oracle_edges: int
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def _check_comparable(graph: SimilarityGraph, oracle: SimilarityGraph) -> None:
+    if graph.n_nodes != oracle.n_nodes:
+        raise GraphError(
+            f"graphs are over different node sets: "
+            f"{graph.n_nodes} vs {oracle.n_nodes} nodes"
+        )
+
+
+def neighbor_recall(graph: SimilarityGraph, oracle: SimilarityGraph) -> float:
+    """Mean per-node fraction of oracle neighbours kept by ``graph``.
+
+    Nodes with no oracle neighbours (isolated in the exact graph) are
+    skipped; if every node is isolated the recall is vacuously 1.0.
+    """
+    _check_comparable(graph, oracle)
+    approx = graph.adjacency.tocsr()
+    exact = oracle.adjacency.tocsr()
+    # weights are non-negative, so a shared edge exists exactly where the
+    # elementwise minimum is nonzero; count them per row
+    shared = exact.minimum(approx).tocsr()
+    exact_degrees = np.diff(exact.indptr)
+    shared_degrees = np.diff(shared.indptr)
+    has_neighbors = exact_degrees > 0
+    if not has_neighbors.any():
+        return 1.0
+    per_node = shared_degrees[has_neighbors] / exact_degrees[has_neighbors]
+    return float(per_node.mean())
+
+
+def edge_weight_agreement(
+    graph: SimilarityGraph, oracle: SimilarityGraph
+) -> float:
+    """Max absolute weight difference over edges present in both graphs.
+
+    Approximate backends score every candidate with the exact
+    Algorithm-1 similarity; only float32 summation order differs from
+    the oracle's blockwise path, so anything beyond a few float32 ulps
+    (~1e-7) means a backend is scoring pairs with something other than
+    the oracle's weight function.  Returns 0.0 when no edges are shared.
+    """
+    _check_comparable(graph, oracle)
+    approx = graph.adjacency.tocsr()
+    exact = oracle.adjacency.tocsr()
+    shared = exact.minimum(approx)
+    if shared.nnz == 0:
+        return 0.0
+    shared_coo = shared.tocoo()
+    diff = np.abs(
+        np.asarray(approx[shared_coo.row, shared_coo.col]).ravel()
+        - np.asarray(exact[shared_coo.row, shared_coo.col]).ravel()
+    )
+    return float(diff.max())
+
+
+def compare_graphs(
+    graph: SimilarityGraph, oracle: SimilarityGraph
+) -> GraphQuality:
+    """Structural quality of ``graph`` against the exact ``oracle``."""
+    _check_comparable(graph, oracle)
+    approx = graph.adjacency
+    exact = oracle.adjacency
+    shared_nnz = exact.minimum(approx).nnz
+    return GraphQuality(
+        neighbor_recall=neighbor_recall(graph, oracle),
+        edge_recall=float(shared_nnz / exact.nnz) if exact.nnz else 1.0,
+        edge_precision=float(shared_nnz / approx.nnz) if approx.nnz else 1.0,
+        max_weight_divergence=edge_weight_agreement(graph, oracle),
+        n_edges=graph.n_edges(),
+        n_oracle_edges=oracle.n_edges(),
+    )
+
+
+def propagation_auprc_delta(
+    graph: SimilarityGraph,
+    oracle: SimilarityGraph,
+    seed_indices: np.ndarray,
+    seed_labels: np.ndarray,
+    true_labels: np.ndarray,
+    propagation: LabelPropagation | None = None,
+) -> tuple[float, float, float]:
+    """Downstream quality: AUPRC of propagated scores on both graphs.
+
+    Runs the same :class:`LabelPropagation` over ``graph`` and
+    ``oracle`` from identical seeds and scores both against
+    ``true_labels`` on the non-seed nodes (seeds are clamped, so they
+    carry no signal about graph quality).
+
+    Returns ``(auprc_graph, auprc_oracle, delta)`` with
+    ``delta = auprc_oracle - auprc_graph`` (positive means the
+    approximation cost downstream quality).
+    """
+    _check_comparable(graph, oracle)
+    propagation = propagation or LabelPropagation()
+    true_labels = np.asarray(true_labels)
+    if len(true_labels) != graph.n_nodes:
+        raise GraphError(
+            f"true_labels has {len(true_labels)} entries for "
+            f"{graph.n_nodes} nodes"
+        )
+    eval_mask = np.ones(graph.n_nodes, dtype=bool)
+    eval_mask[np.asarray(seed_indices, dtype=np.int64)] = False
+    if len(np.unique(true_labels[eval_mask])) < 2:
+        raise GraphError(
+            "AUPRC is undefined on single-class evaluation labels"
+        )
+    approx_scores = propagation.run(graph, seed_indices, seed_labels).scores
+    oracle_scores = propagation.run(oracle, seed_indices, seed_labels).scores
+    auprc_graph = auprc(approx_scores[eval_mask], true_labels[eval_mask])
+    auprc_oracle = auprc(oracle_scores[eval_mask], true_labels[eval_mask])
+    return auprc_graph, auprc_oracle, auprc_oracle - auprc_graph

@@ -31,6 +31,31 @@ def test_unknown_experiment_rejected():
         main(["tableX"])
 
 
+def test_scaling_via_cli(tmp_path, capsys):
+    import json
+
+    code = main([
+        "scaling", "--sizes", "80", "160", "--graph-backend", "lsh",
+        "--seed", "3", "--run-dir", str(tmp_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Graph scaling" in out
+    assert "lsh" in out
+    data = json.loads((tmp_path / "BENCH_scaling.json").read_text())
+    assert data["kind"] == "bench"
+    metrics = data["metrics"]
+    assert metrics["sizes"] == [80, 160]
+    assert metrics["backends"] == ["lsh"]
+    assert "build_lsh_n160" in data["timings"]
+    assert 0.0 <= metrics["recall_lsh_n160"] <= 1.0
+
+
+def test_scaling_rejects_unknown_graph_backend():
+    with pytest.raises(SystemExit):
+        main(["scaling", "--graph-backend", "annoy"])
+
+
 def test_trace_flag_writes_trace_json(tmp_path, capsys):
     import json
 

@@ -166,16 +166,27 @@ def test_run_map_with_failures_differential(backend, workers):
 # ----------------------------------------------------------------------
 # graph construction
 # ----------------------------------------------------------------------
+GRAPH_BACKENDS_UNDER_TEST = ("exact", "lsh", "nn-descent")
+
+
 @pytest.fixture(scope="module")
 def graph_inputs(tiny_splits, tiny_catalog):
     corpus = tiny_splits.image_test
     table = featurize_corpus(corpus, list(tiny_catalog), seed=11)
-    return table, GraphConfig(k=6, block_size=16)
+    return table
 
 
+@pytest.mark.parametrize("graph_backend", GRAPH_BACKENDS_UNDER_TEST)
 @pytest.mark.parametrize("backend,workers", GRID)
-def test_graph_build_differential(backend, workers, graph_inputs, store):
-    table, config = graph_inputs
+def test_graph_build_differential(
+    backend, workers, graph_backend, graph_inputs, store
+):
+    """Every graph backend — exact and approximate alike — produces a
+    byte-identical adjacency on every executor: candidate generation
+    uses per-shard RNG streams and ordered merges, so parallelism never
+    changes which pairs are considered."""
+    table = graph_inputs
+    config = GraphConfig(k=6, block_size=16, backend=graph_backend, seed=5)
     baseline = build_knn_graph(table, config)
     graph = build_knn_graph(
         table, config, executor=ExecutorConfig(backend=backend, workers=workers)

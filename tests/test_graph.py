@@ -123,6 +123,49 @@ def test_too_few_nodes_rejected():
         build_knn_graph(table)
 
 
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"k": 0},
+        {"k": -3},
+        {"block_size": 0},
+        {"min_weight": -0.1},
+        {"min_weight": 1.5},
+        {"feature_weights": {"emb": 0.0}},
+        {"feature_weights": {"emb": -2.0}},
+        {"feature_weights": {"emb": float("nan")}},
+        {"backend": "bogus"},
+        {"lsh_tables": 0},
+        {"lsh_bits": 0},
+        {"lsh_band_rows": 0},
+        {"lsh_max_candidates": 0},
+        {"lsh_bucket_cap": 0},
+        {"nnd_iters": 0},
+        {"nnd_sample": 0},
+        {"nnd_tol": -0.5},
+    ],
+)
+def test_bad_config_rejected_at_construction(kwargs):
+    """Invalid knobs fail fast in GraphConfig.__post_init__ instead of
+    deep inside a block task."""
+    with pytest.raises(GraphError):
+        GraphConfig(**kwargs)
+
+
+def test_unknown_feature_names_rejected():
+    table = _cluster_table(n_per=8)
+    with pytest.raises(GraphError, match="unknown graph feature"):
+        build_knn_graph(table, GraphConfig(features=("cats", "nope")))
+    with pytest.raises(GraphError, match="feature_weights"):
+        build_knn_graph(table, GraphConfig(feature_weights={"nope": 2.0}))
+    # weights for a feature excluded from `features` are also unknown
+    with pytest.raises(GraphError, match="feature_weights"):
+        build_knn_graph(
+            table,
+            GraphConfig(features=("cats",), feature_weights={"emb": 2.0}),
+        )
+
+
 def test_neighbors_accessor():
     table = _cluster_table()
     graph = build_knn_graph(table, GraphConfig(k=3))

@@ -84,6 +84,81 @@ def test_unreached_nodes_keep_prior():
     assert result.unreached_fraction() > 0
 
 
+def _reference_run(propagator, graph, seed_indices, seed_labels):
+    """The pre-optimization sweep loop: `reached` grown one hop per
+    iteration by a sparse matvec.  Kept verbatim as the regression
+    oracle for the connected-components replacement."""
+    from scipy import sparse
+
+    n = graph.n_nodes
+    seed_indices = np.asarray(seed_indices, dtype=np.int64)
+    seed_labels = np.asarray(seed_labels, dtype=np.int64)
+    W = graph.adjacency
+    degree = np.asarray(W.sum(axis=1)).ravel()
+    inv_degree = np.where(degree > 0, 1.0 / np.maximum(degree, 1e-12), 0.0)
+    T = sparse.diags(inv_degree) @ W
+    is_seed = np.zeros(n, dtype=bool)
+    is_seed[seed_indices] = True
+    scores = np.full(n, propagator.prior)
+    scores[seed_indices] = seed_labels.astype(float)
+    reached = is_seed.copy()
+    for _ in range(1, propagator.max_iter + 1):
+        new_scores = T @ scores
+        new_scores[degree == 0] = scores[degree == 0]
+        new_scores[is_seed] = seed_labels.astype(float)
+        reached = reached | (np.asarray((W @ reached.astype(float))).ravel() > 0)
+        delta = float(np.abs(new_scores - scores).max())
+        scores = new_scores
+        if delta < propagator.tol:
+            break
+    scores = np.clip(scores, 0.0, 1.0)
+    scores[~reached] = propagator.prior
+    return scores, reached
+
+
+def test_component_reachability_matches_iterative_reference(cluster_graph):
+    """The one-shot connected-components `reached` pass produces the
+    same reached mask and byte-identical scores as the old per-sweep
+    frontier matvec."""
+    propagator = LabelPropagation(prior=0.4)
+    seeds = np.array([0, 1, 30])
+    labels = np.array([1, 1, 0])
+    result = propagator.run(cluster_graph, seeds, labels)
+    ref_scores, ref_reached = _reference_run(
+        propagator, cluster_graph, seeds, labels
+    )
+    np.testing.assert_array_equal(result.reached, ref_reached)
+    np.testing.assert_array_equal(result.scores, ref_scores)
+
+
+def test_component_reachability_matches_reference_with_seedless_component():
+    """Same regression on a graph with an isolated node and a component
+    holding no seed: both stay unreached and keep the prior."""
+    rng = np.random.default_rng(3)
+    schema = FeatureSchema([FeatureSpec("emb", FeatureKind.EMBEDDING)])
+    embs = []
+    for c in range(3):
+        center = np.zeros(3)
+        center[c] = 6.0
+        for _ in range(12):
+            embs.append(center + rng.normal(0, 0.2, size=3))
+    table = FeatureTable(
+        schema=schema, columns={"emb": embs},
+        point_ids=list(range(36)), modalities=[Modality.IMAGE] * 36,
+    )
+    graph = build_knn_graph(table, GraphConfig(k=3, min_weight=0.9))
+    propagator = LabelPropagation(prior=0.25)
+    seeds = np.array([0, 12])
+    labels = np.array([1, 0])
+    result = propagator.run(graph, seeds, labels)
+    ref_scores, ref_reached = _reference_run(propagator, graph, seeds, labels)
+    np.testing.assert_array_equal(result.reached, ref_reached)
+    np.testing.assert_array_equal(result.scores, ref_scores)
+    # the third cluster holds no seed: prior everywhere, not reached
+    assert not result.reached[24:].any()
+    assert (result.scores[24:] == 0.25).all()
+
+
 def test_validation_errors(cluster_graph):
     propagator = LabelPropagation()
     with pytest.raises(GraphError):
