@@ -70,6 +70,17 @@ class CircuitOpenError(ServiceUnavailableError):
     """A circuit breaker short-circuited the call without dialing out."""
 
 
+class DeadlineExceeded(ServiceError):
+    """A call's deadline budget ran out before it could complete.
+
+    Raised by the retry layer when the next backoff sleep would overrun
+    the remaining :class:`~repro.resilience.deadline.Deadline` budget
+    (the sleep is capped at the budget, then this fires).  Deliberately
+    *not* a :class:`TransientServiceError`: an exhausted deadline must
+    never be retried — it degrades through the fallback chain instead.
+    """
+
+
 class ExecutorError(ReproError):
     """An execution backend could not run a task set (unpicklable task,
     broken worker pool, ...)."""

@@ -29,6 +29,8 @@ import repro.obs as obs
 from repro.core.config import PipelineConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec import Executor
+    from repro.resilience.policy import ResiliencePolicy
     from repro.runs.checkpoint import RunCheckpointer
 from repro.core.exceptions import ConfigurationError
 from repro.core.rng import derive_seed, spawn
@@ -112,14 +114,30 @@ class CrossModalPipeline:
         task: TaskRuntime,
         catalog: ResourceCatalog,
         config: PipelineConfig | None = None,
+        executor: "Executor | None" = None,
+        resilience: "ResiliencePolicy | None" = None,
+        resilience_context: dict | None = None,
     ) -> None:
         self.world = world
         self.task = task
         self.catalog = catalog
         self.config = config or PipelineConfig()
         self.schema = catalog.schema()
-        #: resolved execution backend for the parallel stages
-        self.executor = self.config.effective_executor()
+        #: optional policy guarding every featurization service call
+        #: (retry/deadline/fallback; multi-tenant runs also route its
+        #: dials through a shared governor)
+        self.resilience = resilience
+        #: fingerprint slice describing the resilience setup — anything
+        #: that changes featurized values (fault seeds, availability,
+        #: retry budget, deadline) must be here so checkpoints are
+        #: never shared across different degradation regimes
+        self.resilience_context = resilience_context
+        #: resolved execution backend for the parallel stages; a live
+        #: injected executor (e.g. a multi-tenant fair-queue lane) wins
+        #: over the config
+        self.executor = (
+            executor if executor is not None else self.config.effective_executor()
+        )
         # LF closures capture mined predicates and cannot pickle, so LF
         # application caps out at the thread backend even when the rest
         # of the pipeline runs on processes.
@@ -139,7 +157,9 @@ class CrossModalPipeline:
         Featurization always uses the full catalog; experiments narrow
         the feature set later by selecting columns, which keeps values
         identical across configurations (per-point, per-resource RNG
-        streams).
+        streams).  With a :attr:`resilience` policy, every service call
+        is guarded (retry / deadline / fallback) and the table carries a
+        degradation report.
         """
         return featurize_corpus(
             corpus,
@@ -147,6 +167,7 @@ class CrossModalPipeline:
             seed=derive_seed(self.config.seed, "featurize"),
             include_labels=include_labels,
             n_threads=self.config.n_threads,
+            policy=self.resilience,
             executor=self.executor,
         )
 
@@ -555,13 +576,19 @@ class CrossModalPipeline:
             if checkpoint is None:
                 tables = compute_featurize()
             else:
+                feat_config: dict = {
+                    "seed": cfg.seed,
+                    "derived_seed": derive_seed(cfg.seed, "featurize"),
+                    "features": sorted(self.schema.names),
+                }
+                if self.resilience_context is not None:
+                    # degradation regime (fault seeds, availability,
+                    # retry/deadline budgets) changes featurized values,
+                    # so it invalidates the checkpoint like a seed does
+                    feat_config["resilience"] = self.resilience_context
                 outcome = checkpoint.stage(
                     "featurize",
-                    config={
-                        "seed": cfg.seed,
-                        "derived_seed": derive_seed(cfg.seed, "featurize"),
-                        "features": sorted(self.schema.names),
-                    },
+                    config=feat_config,
                     compute=compute_featurize,
                     encode=lambda ts: {
                         key: ("feature_table", table_to_dict(table))

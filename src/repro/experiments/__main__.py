@@ -62,6 +62,19 @@ Graph backends (see DESIGN.md "Approximate graph construction"):
 
     python -m repro.experiments scaling --sizes 600 1200 2400
     python -m repro.experiments end_to_end --graph-backend lsh
+
+Multi-tenant orchestration (see DESIGN.md "Multi-tenant run
+orchestration"):
+
+    --tenants N [N ...]        tenant counts to sweep (multitenant)
+    --rate-limits Q [Q ...]    victim-service rate limits in calls/s
+                               (0 = unlimited)
+    --availabilities A [A ...] victim availability levels tenants cycle
+                               through
+
+    python -m repro.experiments multitenant --scale 0.1 --seed 7
+    python -m repro.experiments multitenant --tenants 2 6 \\
+        --rate-limits 0 400 --availabilities 1.0 0.5
 """
 
 from __future__ import annotations
@@ -79,13 +92,19 @@ from repro.experiments.fusion_ablation import run_fusion_ablation
 from repro.experiments.label_prop import run_table3
 from repro.experiments.lesion import run_figure7
 from repro.experiments.lf_comparison import run_lf_comparison
+from repro.experiments.multitenant import (
+    DEFAULT_MT_AVAILABILITIES,
+    DEFAULT_RATE_LIMITS,
+    DEFAULT_TENANT_COUNTS,
+    run_multitenant,
+)
 from repro.experiments.scaling import run_scaling
 from repro.experiments.table1 import run_table1
 
 _EXPERIMENTS = (
     "table1", "table2", "table3", "figure5", "figure6", "figure7",
     "fusion", "lf", "ablations", "chaos", "crash", "end_to_end",
-    "scaling",
+    "scaling", "multitenant",
 )
 
 
@@ -120,7 +139,8 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
         return render_ablations(run_all_ablations(scale=scale, seed=seed))
     if name == "chaos":
         return run_chaos(scale=scale, seed=seed,
-                         n_model_seeds=args.model_seeds).render()
+                         n_model_seeds=args.model_seeds,
+                         out_dir=args.run_dir).render()
     if name == "crash":
         task = (args.tasks or ["CT1"])[0]
         return run_crash_resume(task=task, scale=scale, seed=seed,
@@ -150,6 +170,25 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
         return run_scaling(
             sizes=args.sizes, backends=backends, seed=seed,
             out_dir=args.run_dir, executor=executor,
+        ).render()
+    if name == "multitenant":
+        return run_multitenant(
+            scale=scale, seed=seed,
+            tenant_counts=(
+                tuple(args.tenants) if args.tenants else DEFAULT_TENANT_COUNTS
+            ),
+            rate_limits=(
+                tuple(args.rate_limits)
+                if args.rate_limits
+                else DEFAULT_RATE_LIMITS
+            ),
+            availabilities=(
+                tuple(args.availabilities)
+                if args.availabilities
+                else DEFAULT_MT_AVAILABILITIES
+            ),
+            workers=args.workers if args.workers is not None else 2,
+            out_dir=args.run_dir,
         ).render()
     raise ValueError(f"unknown experiment {name!r}")
 
@@ -201,15 +240,27 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--sizes", type=int, nargs="*", default=None,
                         help="scaling: corpus sizes to sweep "
                              "(default 600 1200 2400 4800 9600)")
+    parser.add_argument("--tenants", type=int, nargs="*", default=None,
+                        help="multitenant: tenant counts to sweep "
+                             "(default 2 6)")
+    parser.add_argument("--rate-limits", type=float, nargs="*", default=None,
+                        help="multitenant: victim-service rate limits in "
+                             "calls/s, 0 = unlimited (default 0 400)")
+    parser.add_argument("--availabilities", type=float, nargs="*",
+                        default=None,
+                        help="multitenant: victim availability levels the "
+                             "tenant roster cycles through (default 1.0 0.5)")
     args = parser.parse_args(argv)
 
     tracer = None
     if args.trace or args.profile:
         tracer = obs.enable(obs.Tracer("experiments"))
 
-    # "all" excludes the subprocess-based crash harness; run it explicitly
+    # "all" excludes the subprocess-based crash harness and the
+    # multi-tenant contention sweep (many concurrent full runs); run
+    # those explicitly
     names = (
-        [n for n in _EXPERIMENTS if n != "crash"]
+        [n for n in _EXPERIMENTS if n not in ("crash", "multitenant")]
         if args.experiment == "all"
         else [args.experiment]
     )

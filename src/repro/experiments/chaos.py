@@ -73,6 +73,10 @@ class ChaosResult:
     scale: float
     seed: int
     health_renders: list[str] = field(default_factory=list)
+    #: resilience control-plane counters per availability level
+    breaker_trips: list[int] = field(default_factory=list)
+    short_circuits: list[int] = field(default_factory=list)
+    deadline_exceeded: list[int] = field(default_factory=list)
 
     def graceful(self, max_step_loss: float = 0.5) -> bool:
         """True when no *adjacent* availability step loses more than
@@ -100,10 +104,12 @@ class ChaosResult:
                     f"{self.missing_fractions[i]:.1%}",
                     self.retries[i],
                     self.fallbacks[i],
+                    self.breaker_trips[i] if i < len(self.breaker_trips) else 0,
                 ]
             )
         table = render_table(
-            ["Availability", "AUPRC", "degraded", "missing", "retries", "fallbacks"],
+            ["Availability", "AUPRC", "degraded", "missing", "retries",
+             "fallbacks", "trips"],
             rows,
             title=(
                 f"Chaos sweep — CT1 end-task AUPRC vs service availability "
@@ -144,6 +150,7 @@ def run_chaos(
     availabilities: tuple[float, ...] = DEFAULT_AVAILABILITIES,
     n_model_seeds: int = 2,
     ctx: ExperimentContext | None = None,
+    out_dir: str | None = None,
 ) -> ChaosResult:
     """Sweep service availability; run the full pipeline at each level.
 
@@ -152,6 +159,11 @@ def run_chaos(
     draw per retry, deterministic per seed).  Featurization uses the
     same seed the context's pipeline uses, so the 1.0 level reproduces
     the fault-free tables bit-for-bit.
+
+    Writes ``BENCH_chaos.json`` — per-level quality plus the resilience
+    control-plane counters (retries, fallbacks, breaker trips, short
+    circuits, deadline exhaustions) — when ``out_dir`` is given or the
+    ``REPRO_BENCH_DIR`` env var is set.
     """
     if ctx is None:
         ctx = ExperimentContext(task_name="CT1", scale=scale, seed=seed)
@@ -165,6 +177,9 @@ def run_chaos(
     retries: list[int] = []
     fallbacks: list[int] = []
     health_renders: list[str] = []
+    breaker_trips: list[int] = []
+    short_circuits: list[int] = []
+    deadline_exceeded: list[int] = []
 
     for availability in availabilities:
         fault_rate = 1.0 - availability
@@ -206,9 +221,13 @@ def run_chaos(
         missing.append(sum(r.n_missing for r in reports) / max(n_cells, 1))
         retries.append(sum(r.total_retries for r in reports))
         fallbacks.append(sum(r.n_fallbacks for r in reports))
-        health_renders.append(policy.health_report().render())
+        health = policy.health_report()
+        health_renders.append(health.render())
+        breaker_trips.append(health.total_trips)
+        short_circuits.append(health.total_short_circuits)
+        deadline_exceeded.append(health.total_deadline_exceeded)
 
-    return ChaosResult(
+    result = ChaosResult(
         availabilities=list(availabilities),
         auprcs=auprcs,
         degraded_fractions=degraded,
@@ -218,7 +237,29 @@ def run_chaos(
         scale=ctx.scale,
         seed=seed,
         health_renders=health_renders,
+        breaker_trips=breaker_trips,
+        short_circuits=short_circuits,
+        deadline_exceeded=deadline_exceeded,
     )
+    directory = out_dir or os.environ.get("REPRO_BENCH_DIR")
+    if directory:
+        from repro.obs.bench import BenchArtifact
+
+        artifact = BenchArtifact("chaos", scale=ctx.scale, seed=seed)
+        artifact.record(
+            availabilities=result.availabilities,
+            auprcs=[round(a, 4) for a in result.auprcs],
+            degraded_fractions=[round(f, 4) for f in result.degraded_fractions],
+            missing_fractions=[round(f, 4) for f in result.missing_fractions],
+            retries=result.retries,
+            fallbacks=result.fallbacks,
+            breaker_trips=result.breaker_trips,
+            short_circuits=result.short_circuits,
+            deadline_exceeded=result.deadline_exceeded,
+            graceful=result.graceful(),
+        )
+        artifact.write(directory)
+    return result
 
 
 # --------------------------------------------------------------------------

@@ -237,6 +237,7 @@ def run_end_to_end(
     checkpointed run never silently reuses a graph built by a different
     backend.
     """
+    import os
     from pathlib import Path
 
     from repro.core.atomicio import atomic_write_json
@@ -294,6 +295,40 @@ def run_end_to_end(
             },
             indent=2,
         )
+    bench_dir = os.environ.get("REPRO_BENCH_DIR") or run_dir
+    if bench_dir:
+        from repro.obs.bench import BenchArtifact
+
+        # degradation counters come from the featurized tables when a
+        # resilience policy was in play; a plain run reports zeros —
+        # the schema stays stable either way
+        reports = [
+            t.degradation
+            for t in result.tables.values()
+            if t.degradation is not None
+        ]
+        counters: dict[str, int] = {
+            "breaker_trips": 0, "short_circuits": 0, "deadline_exceeded": 0,
+        }
+        for report in reports:
+            for key in counters:
+                counters[key] = max(counters[key], report.counters.get(key, 0))
+        artifact = BenchArtifact("end_to_end", scale=scale, seed=seed)
+        for stage, seconds in run.timings.items():
+            artifact.time(stage, seconds)
+        artifact.record(
+            task=task,
+            metrics={k: round(v, 4) for k, v in run.metrics.items()},
+            n_lfs=run.n_lfs,
+            coverage=round(run.coverage, 4),
+            resumed_stages=run.resumed_stages,
+            retries=sum(r.total_retries for r in reports),
+            fallbacks=sum(r.n_fallbacks for r in reports),
+            shed_items=0,
+            dedup_hits=0,
+            **counters,
+        )
+        artifact.write(bench_dir)
     return run
 
 

@@ -23,6 +23,7 @@ carries a :class:`DegradationReport`.
 """
 
 from repro.resilience.circuit import CircuitBreaker, CircuitConfig, CircuitState
+from repro.resilience.deadline import Deadline
 from repro.resilience.fallback import (
     FallbackChain,
     StaleValueCache,
@@ -42,6 +43,7 @@ __all__ = [
     "CircuitBreaker",
     "CircuitConfig",
     "CircuitState",
+    "Deadline",
     "DegradationEvent",
     "DegradationReport",
     "FallbackChain",

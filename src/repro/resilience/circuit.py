@@ -69,9 +69,12 @@ class CircuitBreaker:
         self._lock = threading.Lock()
 
     def __getstate__(self) -> dict:
-        # locks don't pickle; each process-pool worker gets its own
-        state = {k: v for k, v in self.__dict__.items() if k != "_lock"}
-        return state
+        # locks don't pickle; each process-pool worker gets its own.
+        # Snapshot under the lock: a concurrent record_failure() mid-copy
+        # must not yield a torn view (e.g. OPEN state with a stale
+        # _opened_at), and dict iteration races with mutation.
+        with self._lock:
+            return {k: v for k, v in self.__dict__.items() if k != "_lock"}
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
@@ -112,8 +115,10 @@ class CircuitBreaker:
     def check(self) -> None:
         """Raise :class:`CircuitOpenError` instead of returning False."""
         if not self.allow():
+            # read the state via the locked property: the unlocked
+            # self._state could be torn against a concurrent transition
             raise CircuitOpenError(
-                f"circuit for service {self.name!r} is {self._state.value}"
+                f"circuit for service {self.name!r} is {self.state.value}"
             )
 
     def record_success(self) -> None:

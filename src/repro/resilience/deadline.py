@@ -1,0 +1,62 @@
+"""Per-call deadline budgets on simulated time.
+
+A :class:`Deadline` is the budget one guarded call may spend across its
+retries.  Time here is *simulated*, consistent with the retry layer:
+backoff delays are accumulated into the budget instead of slept, so
+deadline enforcement is deterministic for a fixed fault schedule and
+independent of wall-clock scheduling — a tenant gets bit-identical
+deadline behaviour whether it runs solo or contended.
+
+Usage: construct one ``Deadline`` per guarded call (they are cheap,
+single-threaded objects), charge each simulated backoff delay via
+:meth:`consume`, and cap a prospective sleep with :meth:`cap`.  The
+retry layer raises :class:`~repro.core.exceptions.DeadlineExceeded`
+when a capped sleep could not fit the full backoff.
+"""
+
+from __future__ import annotations
+
+from repro.core.exceptions import ConfigurationError
+
+__all__ = ["Deadline"]
+
+
+class Deadline:
+    """A simulated-time budget for one guarded service call.
+
+    ``budget`` is in (simulated) seconds; ``float("inf")`` means
+    unlimited.  Not thread-safe by design: one instance guards one
+    call on one thread.
+    """
+
+    __slots__ = ("budget", "spent")
+
+    def __init__(self, budget: float) -> None:
+        if budget <= 0:
+            raise ConfigurationError(
+                f"deadline budget must be positive, got {budget}"
+            )
+        self.budget = float(budget)
+        self.spent = 0.0
+
+    @property
+    def remaining(self) -> float:
+        """Budget left, floored at zero."""
+        return max(self.budget - self.spent, 0.0)
+
+    @property
+    def exceeded(self) -> bool:
+        return self.spent >= self.budget
+
+    def consume(self, seconds: float) -> None:
+        """Charge ``seconds`` of simulated time against the budget."""
+        if seconds < 0:
+            raise ConfigurationError("cannot consume negative time")
+        self.spent += seconds
+
+    def cap(self, delay: float) -> float:
+        """The largest slice of ``delay`` that still fits the budget."""
+        return min(delay, self.remaining)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Deadline(budget={self.budget}, spent={self.spent:.4f})"

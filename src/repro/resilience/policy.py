@@ -23,11 +23,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.exceptions import ServiceUnavailableError, TransientServiceError
+from repro.core.exceptions import (
+    DeadlineExceeded,
+    ServiceUnavailableError,
+    TransientServiceError,
+)
 from repro.core.rng import spawn
 from repro.datagen.entities import DataPoint
 from repro.features.table import MISSING
 from repro.resilience.circuit import CircuitBreaker, CircuitConfig
+from repro.resilience.deadline import Deadline
 from repro.resilience.fallback import FallbackChain
 from repro.resilience.retry import RetryConfig, backoff_delay
 from repro.resources.base import OrganizationalResource
@@ -53,6 +58,7 @@ class ServiceHealth:
     trips: int = 0
     short_circuits: int = 0
     fallbacks: int = 0
+    deadline_exceeded: int = 0
     simulated_delay: float = 0.0
 
     @property
@@ -81,6 +87,14 @@ class HealthReport:
     @property
     def total_trips(self) -> int:
         return sum(h.trips for h in self.services.values())
+
+    @property
+    def total_short_circuits(self) -> int:
+        return sum(h.short_circuits for h in self.services.values())
+
+    @property
+    def total_deadline_exceeded(self) -> int:
+        return sum(h.deadline_exceeded for h in self.services.values())
 
     def render(self) -> str:
         header = (
@@ -118,10 +132,18 @@ class DegradationEvent:
 
 @dataclass
 class DegradationReport:
-    """Degradation summary a resilient featurization run hands back."""
+    """Degradation summary a resilient featurization run hands back.
+
+    ``counters`` carries policy-lifetime control-plane totals sampled
+    when the report was built (``breaker_trips``, ``short_circuits``,
+    ``deadline_exceeded``; orchestrated runs add ``shed_items`` and
+    ``dedup_hits``) so degraded *values* and the control decisions that
+    caused them travel together.
+    """
 
     events: list[DegradationEvent] = field(default_factory=list)
     n_cells: int = 0
+    counters: dict[str, int] = field(default_factory=dict)
 
     @property
     def n_recovered(self) -> int:
@@ -172,6 +194,13 @@ class DegradationReport:
         ]
         for outcome, count in sorted(self.by_outcome().items()):
             lines.append(f"  {outcome:<20} {count}")
+        if self.counters:
+            lines.append(
+                "  counters: "
+                + ", ".join(
+                    f"{k}={v}" for k, v in sorted(self.counters.items())
+                )
+            )
         return "\n".join(lines)
 
 
@@ -190,6 +219,18 @@ class ResiliencePolicy:
         straight to :data:`MISSING`.
     seed:
         Seeds the backoff-jitter streams.
+    governor:
+        Optional shared :class:`~repro.scheduler.ServiceGovernor`.
+        When set, every dial first passes through the governor's
+        per-service token bucket and process-shared breaker — both act
+        purely on *wall-clock pacing* (waits, never value changes), so
+        governed results stay bit-identical to ungoverned ones.
+    deadline_budget:
+        Optional simulated-seconds budget per guarded call.  Backoff
+        delays are charged against it; a backoff that no longer fits is
+        capped and the call degrades via :class:`DeadlineExceeded`
+        (counted in ``ServiceHealth.deadline_exceeded``).  Deterministic:
+        simulated time only.
     """
 
     def __init__(
@@ -198,17 +239,29 @@ class ResiliencePolicy:
         circuit: CircuitConfig | None = None,
         fallback: FallbackChain | None = None,
         seed: int = 0,
+        governor: "ServiceGovernorProtocol | None" = None,
+        deadline_budget: float | None = None,
     ) -> None:
         self.retry = retry or RetryConfig()
         self.circuit = circuit
         self.fallback = fallback
         self.seed = seed
+        self.governor = governor
+        self.deadline_budget = deadline_budget
         self._breakers: dict[str, CircuitBreaker] = {}
         self._health: dict[str, ServiceHealth] = {}
         self._lock = threading.Lock()
 
     def __getstate__(self) -> dict:
-        return {k: v for k, v in self.__dict__.items() if k != "_lock"}
+        # snapshot under the lock so a concurrent call() can't mutate
+        # (or resize) _health/_breakers mid-copy; shallow dict copies
+        # keep the referenced breakers/health pickling via their own
+        # lock-dropping __getstate__
+        with self._lock:
+            state = {k: v for k, v in self.__dict__.items() if k != "_lock"}
+            state["_breakers"] = dict(state["_breakers"])
+            state["_health"] = dict(state["_health"])
+            return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
@@ -236,7 +289,10 @@ class ResiliencePolicy:
             services = {
                 name: ServiceHealth(**vars(h)) for name, h in self._health.items()
             }
-        for name, breaker in self._breakers.items():
+            # iterate _breakers inside the lock too: a concurrent call()
+            # registering a new breaker would resize the dict mid-loop
+            breakers = dict(self._breakers)
+        for name, breaker in breakers.items():
             if name in services:
                 services[name].trips = breaker.trips
         return HealthReport(services=services)
@@ -277,10 +333,19 @@ class ResiliencePolicy:
             )
 
         backoff_rng = spawn(self.seed, f"backoff/{name}/{point.point_id}")
+        deadline = (
+            Deadline(self.deadline_budget)
+            if self.deadline_budget is not None
+            else None
+        )
         retries = 0
         delay = 0.0
         last_error: Exception | None = None
         for attempt in range(self.retry.max_attempts):
+            if self.governor is not None:
+                # wall-clock pacing only (token bucket + shared breaker
+                # dial-rate); never changes the value path
+                self.governor.acquire(name)
             with self._lock:
                 health.attempts += 1
             try:
@@ -291,9 +356,30 @@ class ResiliencePolicy:
                     health.failures += 1
                 if breaker is not None:
                     breaker.record_failure()
+                if self.governor is not None:
+                    self.governor.on_failure(name)
                 if attempt + 1 < self.retry.max_attempts:
+                    step = backoff_delay(self.retry, attempt + 1, backoff_rng)
+                    if deadline is not None:
+                        capped = deadline.cap(step)
+                        deadline.consume(capped)
+                        delay += capped
+                        if capped < step:
+                            # the full backoff no longer fits: pay the
+                            # remainder, stop retrying, degrade
+                            last_error = DeadlineExceeded(
+                                f"deadline budget {deadline.budget}s "
+                                f"exhausted after attempt {attempt + 1} "
+                                f"for service {name!r} "
+                                f"(point {point.point_id})"
+                            )
+                            last_error.__cause__ = exc
+                            with self._lock:
+                                health.deadline_exceeded += 1
+                            break
+                    else:
+                        delay += step
                     retries += 1
-                    delay += backoff_delay(self.retry, attempt + 1, backoff_rng)
                     with self._lock:
                         health.retries += 1
                 continue
@@ -303,6 +389,8 @@ class ResiliencePolicy:
                     health.failures += 1
                 if breaker is not None:
                     breaker.record_failure()
+                if self.governor is not None:
+                    self.governor.on_failure(name)
                 break
             else:
                 with self._lock:
@@ -310,6 +398,8 @@ class ResiliencePolicy:
                     health.simulated_delay += delay
                 if breaker is not None:
                     breaker.record_success()
+                if self.governor is not None:
+                    self.governor.on_success(name)
                 if self.fallback is not None and self.fallback.stale_cache is not None:
                     self.fallback.stale_cache.put(name, point.point_id, value)
                 event = None

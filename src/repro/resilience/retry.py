@@ -14,7 +14,12 @@ from typing import TypeVar
 
 import numpy as np
 
-from repro.core.exceptions import ConfigurationError, TransientServiceError
+from repro.core.exceptions import (
+    ConfigurationError,
+    DeadlineExceeded,
+    TransientServiceError,
+)
+from repro.resilience.deadline import Deadline
 
 __all__ = ["RetryConfig", "backoff_delay", "retry_call"]
 
@@ -65,6 +70,7 @@ def retry_call(
     config: RetryConfig,
     rng: np.random.Generator,
     on_retry: Callable[[int, Exception, float], None] | None = None,
+    deadline: Deadline | None = None,
 ) -> T:
     """Call ``fn(attempt)`` until it succeeds or attempts are exhausted.
 
@@ -72,9 +78,21 @@ def retry_call(
     everything else propagates immediately.  ``on_retry`` observes
     (attempt, error, simulated_delay) before each re-dial.  The last
     transient error is re-raised when the budget runs out.
+
+    With a ``deadline``, every backoff delay is charged against the
+    budget.  A backoff that does not fit the remaining budget is capped
+    at it (the call still pays what is left — in production the caller
+    really does wait until the deadline fires) and
+    :class:`DeadlineExceeded` is raised instead of re-dialing; the
+    triggering transient error is chained as ``__cause__``.
     """
     last_error: TransientServiceError | None = None
     for attempt in range(config.max_attempts):
+        if deadline is not None and deadline.exceeded:
+            raise DeadlineExceeded(
+                f"deadline budget {deadline.budget}s exhausted before "
+                f"attempt {attempt + 1}"
+            ) from last_error
         try:
             return fn(attempt)
         except TransientServiceError as exc:
@@ -82,6 +100,19 @@ def retry_call(
             if attempt + 1 >= config.max_attempts:
                 break
             delay = backoff_delay(config, attempt + 1, rng)
+            if deadline is not None:
+                capped = deadline.cap(delay)
+                deadline.consume(capped)
+                if capped < delay:
+                    if on_retry is not None:
+                        on_retry(attempt + 1, exc, capped)
+                    raise DeadlineExceeded(
+                        f"backoff of {delay:.4f}s after attempt {attempt + 1} "
+                        f"exceeds remaining deadline budget ({capped:.4f}s "
+                        f"of {deadline.budget}s left); slept the remainder "
+                        f"and gave up"
+                    ) from exc
+                delay = capped
             if on_retry is not None:
                 on_retry(attempt + 1, exc, delay)
     assert last_error is not None

@@ -202,8 +202,18 @@ def featurize_corpus(
                 report = None
             else:
                 events = [e for _, local, _ in mapped for e in local]
+                # control-plane totals sampled at table-build time
+                # (policy-lifetime: a policy reused across corpora
+                # reports cumulative counts in each later table)
+                health = policy.health_report()
                 report = DegradationReport(
-                    events=events, n_cells=len(corpus.points) * len(resources)
+                    events=events,
+                    n_cells=len(corpus.points) * len(resources),
+                    counters={
+                        "breaker_trips": health.total_trips,
+                        "short_circuits": health.total_short_circuits,
+                        "deadline_exceeded": health.total_deadline_exceeded,
+                    },
                 )
             if traced:
                 # per-service call counters + latency histograms,

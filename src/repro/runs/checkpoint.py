@@ -24,9 +24,12 @@ import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 import repro.obs as obs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scheduler.dedup import StageDeduper
 from repro.core.atomicio import atomic_write_json
 from repro.core.exceptions import CheckpointError, IntegrityError
 from repro.runs.crash import crash_boundary
@@ -46,6 +49,10 @@ class StageOutcome:
     value: Any
     record: StageRecord
     reused: bool
+    #: satisfied by another run's identical in-flight stage (see
+    #: :class:`repro.scheduler.dedup.StageDeduper`); the value was
+    #: decoded from the shared store rather than computed here
+    deduped: bool = False
 
     @property
     def artifact_hashes(self) -> dict[str, str]:
@@ -62,6 +69,8 @@ class RunCheckpointer:
         run_dir: str | Path,
         context: dict | None = None,
         resume: bool = False,
+        store: RunStore | None = None,
+        deduper: "StageDeduper | None" = None,
     ) -> None:
         run_dir = Path(run_dir)
         context = dict(context or {})
@@ -82,9 +91,14 @@ class RunCheckpointer:
         else:
             self.manifest = RunManifest.create(run_dir, context)
         self.run_dir = run_dir
-        self.store = RunStore(run_dir)
+        # a shared store dedups identical artifacts across runs by
+        # content hash; per-run manifests still live in run_dir
+        self.store = store if store is not None else RunStore(run_dir)
+        self.deduper = deduper
         #: stage names replayed from artifacts (in stage order)
         self.reused_stages: list[str] = []
+        #: stage names satisfied by another run's in-flight computation
+        self.deduped_stages: list[str] = []
 
     def stage(
         self,
@@ -122,6 +136,46 @@ class RunCheckpointer:
             return StageOutcome(value=value, record=record, reused=True)
 
         t0 = time.perf_counter()
+        if self.deduper is not None:
+            # single-flight across concurrent runs sharing this store:
+            # the first run with this fingerprint computes and persists,
+            # the rest decode its artifacts (same path as a replay)
+            def _compute_and_store() -> tuple[Any, dict[str, ArtifactRef]]:
+                value = compute()
+                with obs.span("runs.stage.save", stage=name) as sp:
+                    refs = {
+                        key: self.store.put_json(kind, payload)
+                        for key, (kind, payload) in encode(value).items()
+                    }
+                    sp.add_counter("artifacts_saved", len(refs))
+                return value, refs
+
+            outcome = self.deduper.run(fingerprint, _compute_and_store)
+            if outcome.hit:
+                with obs.span("runs.stage.dedup", stage=name) as sp:
+                    payloads = {
+                        key: self.store.get_json(ref)
+                        for key, ref in outcome.refs.items()
+                    }
+                    value = decode(payloads)
+                    sp.add_counter("artifacts_reused", len(payloads))
+                obs.add_counter("runs.stages_deduped")
+                self.deduped_stages.append(name)
+            else:
+                value = outcome.value
+                obs.add_counter("runs.stages_computed")
+            record = self.manifest.record_stage(
+                name,
+                fingerprint,
+                config,
+                outcome.refs,
+                wall_time_s=time.perf_counter() - t0,
+            )
+            crash_boundary(f"stage:{name}")
+            return StageOutcome(
+                value=value, record=record, reused=False, deduped=outcome.hit
+            )
+
         value = compute()
         with obs.span("runs.stage.save", stage=name) as sp:
             refs = {

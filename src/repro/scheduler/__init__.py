@@ -1,0 +1,54 @@
+"""Multi-tenant run orchestration (DESIGN §13).
+
+Shared-infrastructure building blocks for running N pipeline runs
+concurrently against one service catalog:
+
+* :mod:`~repro.scheduler.ratelimit` — token-bucket rate limiting;
+* :mod:`~repro.scheduler.governor` — per-service pacing (rate limits,
+  process-shared breakers, call deadlines) that delays but never fails;
+* :mod:`~repro.scheduler.fairqueue` — weighted fair queuing of stage
+  work with bounded lanes, backpressure, and inline shedding;
+* :mod:`~repro.scheduler.dedup` — cross-tenant single-flight stage
+  deduplication over the shared content-hashed store;
+* :mod:`~repro.scheduler.orchestrator` — admission control plus the
+  batch runner tying them together.
+
+Contract: contention machinery only affects *when* work runs, never
+*what it computes* — a tenant's outputs are bit-identical solo or under
+load.
+"""
+
+from repro.scheduler.dedup import DedupOutcome, StageDeduper
+from repro.scheduler.fairqueue import FairQueueConfig, FairScheduler, TenantExecutor
+from repro.scheduler.governor import (
+    GovernorConfig,
+    ServiceGovernor,
+    ServiceGovernorStats,
+)
+from repro.scheduler.orchestrator import (
+    MultiTenantOrchestrator,
+    MultiTenantReport,
+    OrchestratorConfig,
+    TenantResult,
+    TenantSpec,
+    jain_index,
+)
+from repro.scheduler.ratelimit import TokenBucket
+
+__all__ = [
+    "DedupOutcome",
+    "StageDeduper",
+    "FairQueueConfig",
+    "FairScheduler",
+    "TenantExecutor",
+    "GovernorConfig",
+    "ServiceGovernor",
+    "ServiceGovernorStats",
+    "MultiTenantOrchestrator",
+    "MultiTenantReport",
+    "OrchestratorConfig",
+    "TenantResult",
+    "TenantSpec",
+    "jain_index",
+    "TokenBucket",
+]

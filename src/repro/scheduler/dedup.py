@@ -1,0 +1,118 @@
+"""Cross-tenant single-flight deduplication of stage work.
+
+Two tenants with identical stage fingerprints (same context, config,
+derived seeds, and input artifact hashes — see
+:func:`repro.runs.manifest.stage_fingerprint`) would compute byte-
+identical artifacts.  :class:`StageDeduper` makes sure only one of them
+does: the first arrival computes, encodes, and persists into the shared
+content-hashed :class:`~repro.runs.store.RunStore`; concurrent and
+later arrivals wait for the flight and reuse its *artifact references*.
+A hit then decodes from the store exactly like a checkpoint replay —
+never a live Python object — so each tenant gets its own fresh copy and
+the hit path exercises the same integrity-checked read as a resume.
+
+This is safe precisely because the fingerprint is a content hash over
+everything that determines the output: a dedup hit returns bytes the
+hitting tenant would have produced itself, bit for bit.  Tenants with
+different seeds or fault configs have different fingerprints and never
+collide.
+
+Failures do not poison the registry: a compute error propagates to
+every waiter of that flight and the key is released, so a later attempt
+recomputes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+import repro.obs as obs
+
+__all__ = ["DedupOutcome", "StageDeduper"]
+
+
+@dataclass
+class DedupOutcome:
+    """What one :meth:`StageDeduper.run` call resolved to.
+
+    ``value`` is the live computed object for the flight owner and
+    ``None`` for a dedup hit (the hitter decodes from the store via
+    ``refs``).  ``refs`` maps artifact name to a durable
+    :class:`~repro.runs.store.ArtifactRef` in the shared store.
+    """
+
+    hit: bool
+    value: Any
+    refs: dict[str, Any]
+
+
+class _Flight:
+    __slots__ = ("done", "refs", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.refs: dict[str, Any] | None = None
+        self.error: BaseException | None = None
+
+
+@dataclass
+class StageDeduper:
+    """Single-flight registry keyed by stage fingerprint."""
+
+    hits: int = 0
+    misses: int = 0
+    _flights: dict[str, _Flight] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def run(
+        self,
+        key: str,
+        compute: Callable[[], tuple[Any, dict[str, Any]]],
+    ) -> DedupOutcome:
+        """Run ``compute`` once per ``key`` across all callers.
+
+        ``compute`` must return ``(value, refs)`` with every ref already
+        persisted in the shared store — the owner stores *before*
+        followers are released, so a hit never references bytes that
+        aren't on disk.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._flights[key] = flight
+                owner = True
+                self.misses += 1
+            else:
+                owner = False
+                self.hits += 1
+        if owner:
+            try:
+                value, refs = compute()
+            except BaseException as exc:
+                with self._lock:
+                    flight.error = exc
+                    # release the key: the failure belongs to this
+                    # flight only, a retry may succeed
+                    self._flights.pop(key, None)
+                flight.done.set()
+                raise
+            flight.refs = refs
+            flight.done.set()
+            return DedupOutcome(hit=False, value=value, refs=refs)
+        flight.done.wait()
+        if flight.error is not None:
+            # un-count the hit: this flight never produced a result
+            with self._lock:
+                self.hits -= 1
+            raise flight.error
+        assert flight.refs is not None
+        obs.add_counter("dedup.stage_hits")
+        return DedupOutcome(hit=True, value=None, refs=flight.refs)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses}

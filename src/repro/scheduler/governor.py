@@ -1,0 +1,246 @@
+"""Shared service governor: rate limits, shared breakers, deadlines.
+
+One :class:`ServiceGovernor` fronts the shared resource catalog for
+*every* tenant in a multi-tenant run.  Per service it maintains:
+
+* a :class:`~repro.scheduler.ratelimit.TokenBucket` — cross-tenant QPS
+  cap; callers block until a token is available;
+* a process-shared :class:`~repro.resilience.circuit.CircuitBreaker` —
+  failures reported by *any* tenant trip it for all of them.  While
+  open, the governor converts would-be short-circuits into *pacing
+  waits* (each wait advances the breaker's logical clock toward
+  half-open) instead of failing the call;
+* a per-call :class:`~repro.resilience.deadline.Deadline` budget,
+  handed to each tenant's :class:`ResiliencePolicy` so retry backoff
+  never sleeps past it.
+
+The invariant the whole scheduler is built around: **the governor only
+ever delays calls, it never fails or reroutes them.**  Cross-tenant
+state (bucket levels, breaker trips) therefore cannot leak into any
+tenant's values, which is what keeps a governed, contended run
+bit-identical to the same tenant run solo.  All the governor's own
+accounting (trips, waits) is observability, not value state.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+import repro.obs as obs
+from repro.core.exceptions import ConfigurationError
+from repro.resilience.circuit import CircuitBreaker, CircuitConfig
+from repro.scheduler.ratelimit import TokenBucket
+
+__all__ = ["GovernorConfig", "ServiceGovernor", "ServiceGovernorStats"]
+
+
+@dataclass(frozen=True)
+class GovernorConfig:
+    """Shared-service protection knobs.
+
+    ``rate_limit`` — tokens/second per service (0 disables limiting);
+    ``burst`` — bucket capacity (None: ~1s of burst);
+    ``rate_overrides`` — per-service rate overrides by name;
+    ``circuit`` — breaker config shared across tenants (None: no
+    breaker);
+    ``call_deadline`` — simulated-seconds budget per guarded call,
+    picked up by tenant policies (None: no deadline);
+    ``breaker_pause_s`` — wall seconds to pause per open-breaker wait
+    tick (pacing, not failure);
+    ``max_breaker_waits`` — safety valve: after this many consecutive
+    pacing waits on one call the dial proceeds anyway (guarantees
+    progress even if probes stall).
+    """
+
+    rate_limit: float = 0.0
+    burst: float | None = None
+    rate_overrides: dict[str, float] = field(default_factory=dict)
+    circuit: CircuitConfig | None = None
+    call_deadline: float | None = None
+    breaker_pause_s: float = 0.0005
+    max_breaker_waits: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.call_deadline is not None and self.call_deadline <= 0:
+            raise ConfigurationError("call_deadline must be positive (or None)")
+        if self.breaker_pause_s < 0:
+            raise ConfigurationError("breaker_pause_s must be >= 0")
+        if self.max_breaker_waits < 1:
+            raise ConfigurationError("max_breaker_waits must be >= 1")
+
+
+@dataclass
+class ServiceGovernorStats:
+    """Per-service counters the governor accumulates."""
+
+    service: str
+    calls: int = 0
+    successes: int = 0
+    failures: int = 0
+    throttle_waits: int = 0
+    throttle_wait_s: float = 0.0
+    breaker_waits: int = 0
+    breaker_trips: int = 0
+    forced_through: int = 0
+
+
+class ServiceGovernor:
+    """Process-shared pacing layer over a catalog of service names.
+
+    Thread-safe; one instance is shared by every tenant policy in a
+    multi-tenant run.  Unknown services are admitted lazily (a bucket
+    and breaker are created on first acquire), so the governor does not
+    need the full catalog up front.
+    """
+
+    def __init__(
+        self,
+        config: GovernorConfig | None = None,
+        services: Iterable[str] = (),
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.config = config or GovernorConfig()
+        self._clock = clock
+        self._sleep = sleep
+        self._buckets: dict[str, TokenBucket] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._stats: dict[str, ServiceGovernorStats] = {}
+        self._lock = threading.Lock()
+        for name in services:
+            self._admit(name)
+
+    def __getstate__(self) -> dict:
+        # a pickled copy (process-pool worker) gets its own locks; its
+        # pacing is then per-process — documented, and irrelevant to
+        # values since the governor never touches the value path
+        with self._lock:
+            return {k: v for k, v in self.__dict__.items() if k != "_lock"}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # registry
+    # ------------------------------------------------------------------
+    def _admit(self, service: str) -> None:
+        """Create bucket/breaker/stats for ``service`` (lock held or
+        single-threaded init)."""
+        if service in self._stats:
+            return
+        rate = self.config.rate_overrides.get(service, self.config.rate_limit)
+        self._buckets[service] = TokenBucket(
+            rate, capacity=self.config.burst,
+            clock=self._clock, sleep=self._sleep,
+        )
+        if self.config.circuit is not None:
+            self._breakers[service] = CircuitBreaker(
+                self.config.circuit, name=service
+            )
+        self._stats[service] = ServiceGovernorStats(service=service)
+
+    def _entry(
+        self, service: str
+    ) -> tuple[TokenBucket, CircuitBreaker | None, ServiceGovernorStats]:
+        with self._lock:
+            self._admit(service)
+            return (
+                self._buckets[service],
+                self._breakers.get(service),
+                self._stats[service],
+            )
+
+    def breaker(self, service: str) -> CircuitBreaker | None:
+        """The shared breaker for ``service`` (None when disabled)."""
+        return self._entry(service)[1]
+
+    @property
+    def call_deadline(self) -> float | None:
+        return self.config.call_deadline
+
+    # ------------------------------------------------------------------
+    # the pacing gate (ResiliencePolicy governor protocol)
+    # ------------------------------------------------------------------
+    def acquire(self, service: str) -> float:
+        """Admit one dial to ``service``; returns wall seconds waited.
+
+        Order: breaker gate first (an open breaker pauses the caller,
+        each pause advancing the breaker's logical clock toward its
+        half-open probe window), then the token bucket.  Neither gate
+        can fail the call.
+        """
+        bucket, breaker, stats = self._entry(service)
+        waited = 0.0
+        if breaker is not None:
+            spins = 0
+            while not breaker.allow():
+                spins += 1
+                if spins >= self.config.max_breaker_waits:
+                    with self._lock:
+                        stats.forced_through += 1
+                    break
+                with self._lock:
+                    stats.breaker_waits += 1
+                self._sleep(self.config.breaker_pause_s)
+                waited += self.config.breaker_pause_s
+        throttle = bucket.acquire()
+        waited += throttle
+        with self._lock:
+            stats.calls += 1
+            if throttle:
+                stats.throttle_waits += 1
+                stats.throttle_wait_s += throttle
+        if waited:
+            obs.observe(f"governor.wait_s/{service}", waited)
+        return waited
+
+    def on_success(self, service: str) -> None:
+        _, breaker, stats = self._entry(service)
+        if breaker is not None:
+            breaker.record_success()
+        with self._lock:
+            stats.successes += 1
+
+    def on_failure(self, service: str) -> None:
+        _, breaker, stats = self._entry(service)
+        if breaker is not None:
+            before = breaker.trips
+            breaker.record_failure()
+            tripped = breaker.trips - before
+        else:
+            tripped = 0
+        with self._lock:
+            stats.failures += 1
+            stats.breaker_trips += tripped
+        if tripped:
+            obs.add_counter(f"governor.breaker_trips/{service}", tripped)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def report(self) -> dict[str, ServiceGovernorStats]:
+        """Snapshot of per-service stats (copies)."""
+        with self._lock:
+            return {
+                name: ServiceGovernorStats(**vars(s))
+                for name, s in self._stats.items()
+            }
+
+    def totals(self) -> dict[str, float]:
+        """Aggregate counters across services (for BENCH artifacts)."""
+        report = self.report()
+        return {
+            "calls": sum(s.calls for s in report.values()),
+            "failures": sum(s.failures for s in report.values()),
+            "breaker_trips": sum(s.breaker_trips for s in report.values()),
+            "breaker_waits": sum(s.breaker_waits for s in report.values()),
+            "throttle_waits": sum(s.throttle_waits for s in report.values()),
+            "throttle_wait_s": round(
+                sum(s.throttle_wait_s for s in report.values()), 4
+            ),
+            "forced_through": sum(s.forced_through for s in report.values()),
+        }

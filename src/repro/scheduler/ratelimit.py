@@ -1,0 +1,114 @@
+"""Thread-safe token-bucket rate limiter (wall-clock pacing).
+
+The bucket refills continuously at ``rate`` tokens per second up to
+``capacity``; :meth:`acquire` blocks the calling thread until a token is
+available.  This is deliberately the *only* place in the scheduler that
+touches wall-clock time for control decisions: a rate limit slows
+callers down but never fails a call, so governed pipeline results stay
+bit-identical to ungoverned ones (determinism lives in the value path,
+pacing lives here).
+
+``clock`` and ``sleep`` are injectable for tests (drive a manual clock
+instead of real time).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+
+from repro.core.exceptions import ConfigurationError
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """Continuous-refill token bucket.
+
+    ``rate <= 0`` disables limiting (every acquire succeeds instantly).
+    ``capacity`` defaults to ``max(rate, 1)`` — roughly one second of
+    burst.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        capacity: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ConfigurationError("capacity must be positive (or None)")
+        self.rate = float(rate)
+        self.capacity = (
+            float(capacity) if capacity is not None else max(self.rate, 1.0)
+        )
+        self._clock = clock
+        self._sleep = sleep
+        self._tokens = self.capacity
+        self._updated = clock()
+        self._lock = threading.Lock()
+        #: total seconds callers spent blocked in acquire()
+        self.waited_s = 0.0
+        #: acquires that had to wait at least once
+        self.waits = 0
+
+    def __getstate__(self) -> dict:
+        # locks don't pickle; a copy in a process-pool worker paces
+        # independently, which is fine — pacing never touches values
+        with self._lock:
+            return {k: v for k, v in self.__dict__.items() if k != "_lock"}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    @property
+    def unlimited(self) -> bool:
+        return self.rate <= 0.0
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(now - self._updated, 0.0)
+        self._updated = now
+        self._tokens = min(self.capacity, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available right now; never blocks."""
+        if self.unlimited:
+            return True
+        with self._lock:
+            self._refill(self._clock())
+            if self._tokens >= n:
+                self._tokens -= n
+                return True
+            return False
+
+    def acquire(self, n: float = 1.0) -> float:
+        """Block until ``n`` tokens are available; returns seconds waited."""
+        if self.unlimited:
+            return 0.0
+        waited = 0.0
+        first_wait = True
+        while True:
+            with self._lock:
+                now = self._clock()
+                self._refill(now)
+                if self._tokens >= n:
+                    self._tokens -= n
+                    if waited:
+                        self.waited_s += waited
+                    return waited
+                shortfall = (n - self._tokens) / self.rate
+                if first_wait:
+                    self.waits += 1
+                    first_wait = False
+            # sleep outside the lock so other threads can refill/acquire
+            self._sleep(shortfall)
+            waited += shortfall
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TokenBucket(rate={self.rate}, capacity={self.capacity}, "
+            f"waits={self.waits})"
+        )

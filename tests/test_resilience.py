@@ -3,13 +3,18 @@ resilient featurization."""
 
 from __future__ import annotations
 
+import pickle
+import threading
+
 import numpy as np
 import pytest
 
 from repro.core.exceptions import (
     CircuitOpenError,
     ConfigurationError,
+    DeadlineExceeded,
     RateLimitError,
+    ServiceError,
     ServiceTimeoutError,
     ServiceUnavailableError,
     TransientServiceError,
@@ -21,6 +26,7 @@ from repro.resilience import (
     CircuitBreaker,
     CircuitConfig,
     CircuitState,
+    Deadline,
     FallbackChain,
     FaultInjector,
     FaultSpec,
@@ -529,3 +535,201 @@ class TestResilientFeaturization:
             for i, modality in enumerate(table.modalities):
                 if not spec.available_for(modality):
                     assert table.value(i, name) is MISSING
+
+
+# ----------------------------------------------------------------------
+# deadlines
+# ----------------------------------------------------------------------
+class TestDeadline:
+    def test_budget_accounting(self):
+        d = Deadline(1.0)
+        assert d.remaining == 1.0 and not d.exceeded
+        d.consume(0.4)
+        assert d.remaining == pytest.approx(0.6)
+        d.consume(0.6)
+        assert d.exceeded and d.remaining == 0.0
+
+    def test_cap_clips_to_remaining(self):
+        d = Deadline(0.5)
+        assert d.cap(0.2) == 0.2
+        d.consume(0.4)
+        assert d.cap(0.2) == pytest.approx(0.1)
+        d.consume(0.1)
+        assert d.cap(0.2) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Deadline(0.0)
+        with pytest.raises(ConfigurationError):
+            Deadline(-1.0)
+        with pytest.raises(ConfigurationError):
+            Deadline(1.0).consume(-0.1)
+
+
+class TestDeadlineRetry:
+    """retry_call with a Deadline: backoff is charged against the
+    budget; a backoff that no longer fits degrades via DeadlineExceeded
+    instead of re-dialing."""
+
+    CONFIG = RetryConfig(max_attempts=5, base_delay=0.05, jitter=0.0)
+
+    def test_generous_budget_retries_normally(self):
+        calls = []
+
+        def flaky(attempt):
+            calls.append(attempt)
+            if attempt < 2:
+                raise TransientServiceError("flaky")
+            return "ok"
+
+        out = retry_call(
+            flaky, self.CONFIG, spawn(0, "r"), deadline=Deadline(10.0)
+        )
+        assert out == "ok" and calls == [0, 1, 2]
+
+    def test_backoff_that_does_not_fit_raises_deadline_exceeded(self):
+        calls = []
+        observed = []
+
+        def always(attempt):
+            calls.append(attempt)
+            raise TransientServiceError("down")
+
+        with pytest.raises(
+            DeadlineExceeded, match="exceeds remaining deadline budget"
+        ) as excinfo:
+            retry_call(
+                always, self.CONFIG, spawn(0, "r"),
+                on_retry=lambda a, e, d: observed.append((a, d)),
+                deadline=Deadline(0.04),
+            )
+        # one dial only: the first 0.05s backoff did not fit 0.04s
+        assert calls == [0]
+        # the call still pays the remaining budget before giving up
+        assert observed == [(1, pytest.approx(0.04))]
+        assert isinstance(excinfo.value.__cause__, TransientServiceError)
+
+    def test_exact_fit_spends_budget_then_stops_before_redial(self):
+        calls = []
+
+        def always(attempt):
+            calls.append(attempt)
+            raise TransientServiceError("down")
+
+        # 0.05 backoff fits a 0.05 budget exactly; the *next* loop trip
+        # finds the budget exhausted and stops without re-dialing
+        with pytest.raises(DeadlineExceeded, match="exhausted before attempt 2"):
+            retry_call(
+                always, self.CONFIG, spawn(0, "r"), deadline=Deadline(0.05)
+            )
+        assert calls == [0]
+
+    def test_deadline_exceeded_is_not_retryable(self):
+        # a ServiceError (degradable via fallback) but deliberately NOT
+        # transient: a second retry loop must not re-dial an exceeded call
+        assert issubclass(DeadlineExceeded, ServiceError)
+        assert not issubclass(DeadlineExceeded, TransientServiceError)
+
+        def exceeded(attempt):
+            raise DeadlineExceeded("spent")
+
+        with pytest.raises(DeadlineExceeded):
+            retry_call(exceeded, RetryConfig(max_attempts=3), spawn(0, "r"))
+
+    def test_policy_degrades_on_deadline_instead_of_raising(
+        self, suite, small_corpus
+    ):
+        injector = FaultInjector(FaultSpec(transient_rate=0.6), seed=3)
+        wrapped = injector.wrap_all(suite)
+        policy = ResiliencePolicy(
+            retry=RetryConfig(max_attempts=3, jitter=0.0),
+            fallback=FallbackChain(substitutes=build_substitute_map(wrapped)),
+            seed=11,
+            deadline_budget=0.04,  # smaller than the first 0.05s backoff
+        )
+        table = featurize_corpus(small_corpus, wrapped, seed=5, policy=policy)
+        health = policy.health_report()
+        # deadlines fired and were absorbed as degradations, not errors
+        assert health.total_deadline_exceeded > 0
+        assert health.total_retries == 0
+        assert table.degradation.counters["deadline_exceeded"] > 0
+        assert table.n_rows == len(small_corpus)
+
+
+# ----------------------------------------------------------------------
+# concurrent sharing (the multi-tenant contract)
+# ----------------------------------------------------------------------
+class TestConcurrentSharing:
+    """One policy / breaker instance shared by many threads — the
+    orchestrator does exactly this — must stay consistent and picklable
+    mid-flight."""
+
+    def test_breaker_hammer_stays_consistent(self):
+        breaker = CircuitBreaker(CircuitConfig(failure_threshold=3), name="svc")
+        n_threads, ops = 8, 400
+        errors = []
+
+        def hammer(tid):
+            try:
+                for i in range(ops):
+                    if i % 7 == tid % 7:
+                        breaker.record_failure()
+                    elif breaker.allow():
+                        breaker.record_success()
+                    if i % 97 == 0:
+                        pickle.loads(pickle.dumps(breaker))
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert breaker.state in tuple(CircuitState)
+        assert breaker.trips >= 0 and breaker.short_circuits >= 0
+
+    def test_shared_policy_hammer(self, suite, small_corpus):
+        injector = FaultInjector(FaultSpec(transient_rate=0.3), seed=3)
+        wrapped = injector.wrap_all(suite)
+        policy = ResiliencePolicy(
+            retry=RetryConfig(max_attempts=3),
+            circuit=CircuitConfig(failure_threshold=3),
+            fallback=FallbackChain(substitutes=build_substitute_map(wrapped)),
+            seed=11,
+        )
+        resource = wrapped[0]
+        points = small_corpus.points[:25]
+        n_threads = 8
+        errors = []
+
+        def worker(tid):
+            try:
+                for i, point in enumerate(points):
+                    policy.call(
+                        resource, point,
+                        rng_factory=lambda: spawn(5, f"v{tid}"),
+                        seed=5,
+                    )
+                    if i % 10 == tid:
+                        pickle.loads(pickle.dumps(policy))
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        health = policy.health_report().services[resource.name]
+        # every call resolved exactly once: a fresh success or a fallback
+        assert health.successes + health.fallbacks == n_threads * len(points)
+        # the mid-flight pickles produced working, independent copies
+        clone = pickle.loads(pickle.dumps(policy))
+        assert clone.health_report().services[resource.name].attempts > 0

@@ -2,6 +2,8 @@
 checkpointers."""
 
 import json
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -323,3 +325,135 @@ def test_partition_checkpointer_quarantines_corrupt_payload(tmp_path):
     reopened = PartitionCheckpointer(tmp_path, job_key="job-a")
     with pytest.raises(IntegrityError):
         reopened.load(0)
+
+
+# ----------------------------------------------------------------------
+# concurrent writers (the multi-tenant sharing contract)
+# ----------------------------------------------------------------------
+def test_store_concurrent_identical_writers_collapse_to_one_artifact(tmp_path):
+    """N threads racing to store the same payload must agree on one ref
+    and leave exactly one artifact on disk (atomic-rename dedup)."""
+    store = RunStore(tmp_path)
+    payload = {"metrics": {"auprc": 0.42}, "rows": list(range(50))}
+    n_threads = 8
+    barrier = threading.Barrier(n_threads)
+    refs = [None] * n_threads
+    errors = []
+
+    def writer(i):
+        try:
+            barrier.wait()
+            refs[i] = store.put_json("evaluation", payload)
+        except BaseException as exc:  # noqa: BLE001 - collected
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(i,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert len({r.hash for r in refs}) == 1
+    assert len(list(store.artifact_dir.iterdir())) == 1
+    assert store.get_json(refs[0]) == payload
+
+
+def test_store_same_key_different_bytes_is_integrity_error(tmp_path):
+    """An artifact file whose bytes no longer hash to its key — e.g. a
+    broken writer swapping contents under an existing name — must fail
+    loudly and quarantine, never serve the wrong bytes."""
+    store = RunStore(tmp_path)
+    ref_a = store.put_json("evaluation", {"v": "a"})
+    ref_b = store.put_json("evaluation", {"v": "b"})
+    path_a = store._path_for(ref_a.hash, ref_a.kind)
+    path_b = store._path_for(ref_b.hash, ref_b.kind)
+    # plant b's (well-formed) bytes under a's content-hash key
+    path_a.write_bytes(path_b.read_bytes())
+    with pytest.raises(IntegrityError) as exc:
+        store.get_json(ref_a)
+    assert "quarantined" in str(exc.value)
+    assert not path_a.exists()
+    # the untampered artifact is unaffected
+    assert store.get_json(ref_b) == {"v": "b"}
+
+
+def test_concurrent_checkpointers_single_flight_dedup(tmp_path):
+    """Two runs sharing a store + deduper hit the same stage fingerprint
+    concurrently: exactly one computes, the other decodes its artifacts
+    and reports deduped=True with an equal value."""
+    from repro.scheduler import StageDeduper
+
+    store = RunStore(tmp_path / "store")
+    deduper = StageDeduper()
+    computed = []
+
+    def make_stage_args():
+        def compute():
+            time.sleep(0.1)  # hold the flight open so the other run joins it
+            computed.append(1)
+            return {"v": 41}
+
+        return {
+            "compute": compute,
+            "encode": lambda v: {"out": ("evaluation", v)},
+            "decode": lambda payloads: payloads["out"],
+        }
+
+    outcomes = [None, None]
+    barrier = threading.Barrier(2)
+    errors = []
+
+    def run_one(i):
+        try:
+            ck = RunCheckpointer(
+                tmp_path / f"run{i}", context={"seed": 7},
+                store=store, deduper=deduper,
+            )
+            barrier.wait()
+            outcomes[i] = (ck, ck.stage("s", config={"k": 1}, **make_stage_args()))
+        except BaseException as exc:  # noqa: BLE001 - collected
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run_one, args=(i,)) for i in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert len(computed) == 1
+    (ck0, out0), (ck1, out1) = outcomes
+    assert out0.value == out1.value == {"v": 41}
+    assert {out0.deduped, out1.deduped} == {False, True}
+    assert out0.record.fingerprint == out1.record.fingerprint
+    assert out0.artifact_hashes == out1.artifact_hashes
+    hit_ck = ck1 if out1.deduped else ck0
+    assert hit_ck.deduped_stages == ["s"]
+    assert deduper.stats() == {"hits": 1, "misses": 1}
+    # both manifests recorded the stage durably (dedup is not a skip)
+    for ck in (ck0, ck1):
+        assert ck.manifest.completed("s", out0.record.fingerprint) is not None
+
+
+def test_concurrent_checkpointers_different_fingerprints_never_collide(tmp_path):
+    from repro.scheduler import StageDeduper
+
+    store = RunStore(tmp_path / "store")
+    deduper = StageDeduper()
+
+    def stage_args(value):
+        return {
+            "compute": lambda: {"v": value},
+            "encode": lambda v: {"out": ("evaluation", v)},
+            "decode": lambda payloads: payloads["out"],
+        }
+
+    ck0 = RunCheckpointer(tmp_path / "a", context={"seed": 7},
+                          store=store, deduper=deduper)
+    ck1 = RunCheckpointer(tmp_path / "b", context={"seed": 7},
+                          store=store, deduper=deduper)
+    out0 = ck0.stage("s", config={"k": 1}, **stage_args(1))
+    out1 = ck1.stage("s", config={"k": 2}, **stage_args(2))
+    assert not out0.deduped and not out1.deduped
+    assert out0.value != out1.value
+    assert out0.record.fingerprint != out1.record.fingerprint
+    assert deduper.stats() == {"hits": 0, "misses": 2}
