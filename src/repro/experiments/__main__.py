@@ -75,6 +75,17 @@ orchestration"):
     python -m repro.experiments multitenant --scale 0.1 --seed 7
     python -m repro.experiments multitenant --tenants 2 6 \\
         --rate-limits 0 400 --availabilities 1.0 0.5
+
+Online serving (see DESIGN.md "Online serving path"):
+
+    --clients N [N ...]        serve: concurrent client counts to sweep
+    --requests N               serve: total requests per load cell
+    --availabilities A [A ...] serve: service availability levels
+    --run-dir DIR              serve: reuse (or create) a checkpointed
+                               end-to-end run as the deployed artifact
+
+    python -m repro.experiments serve --scale 0.15 --seed 1
+    python -m repro.experiments serve --clients 1 8 --requests 400
 """
 
 from __future__ import annotations
@@ -99,12 +110,17 @@ from repro.experiments.multitenant import (
     run_multitenant,
 )
 from repro.experiments.scaling import run_scaling
+from repro.experiments.serve import (
+    DEFAULT_CLIENT_COUNTS,
+    DEFAULT_SERVE_AVAILABILITIES,
+    run_serve,
+)
 from repro.experiments.table1 import run_table1
 
 _EXPERIMENTS = (
     "table1", "table2", "table3", "figure5", "figure6", "figure7",
     "fusion", "lf", "ablations", "chaos", "crash", "end_to_end",
-    "scaling", "multitenant",
+    "scaling", "multitenant", "serve",
 )
 
 
@@ -171,6 +187,20 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
             sizes=args.sizes, backends=backends, seed=seed,
             out_dir=args.run_dir, executor=executor,
         ).render()
+    if name == "serve":
+        return run_serve(
+            scale=scale, seed=seed,
+            availabilities=(
+                tuple(args.availabilities)
+                if args.availabilities
+                else DEFAULT_SERVE_AVAILABILITIES
+            ),
+            client_counts=(
+                tuple(args.clients) if args.clients else DEFAULT_CLIENT_COUNTS
+            ),
+            n_requests=args.requests,
+            run_dir=args.run_dir,
+        ).render()
     if name == "multitenant":
         return run_multitenant(
             scale=scale, seed=seed,
@@ -191,6 +221,42 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
             out_dir=args.run_dir,
         ).render()
     raise ValueError(f"unknown experiment {name!r}")
+
+
+def _validate_args(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    """Reject nonsensical numeric arguments with a one-line error.
+
+    ``parser.error`` prints ``prog: error: <message>`` and exits 2 —
+    the same contract argparse applies to unknown experiment names —
+    so a typo'd sweep fails in milliseconds instead of after the first
+    expensive cell.
+    """
+    if args.scale <= 0:
+        parser.error(f"--scale must be > 0, got {args.scale}")
+    if args.model_seeds < 1:
+        parser.error(f"--model-seeds must be >= 1, got {args.model_seeds}")
+    if args.workers is not None and args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.requests < 1:
+        parser.error(f"--requests must be >= 1, got {args.requests}")
+    for flag, values, minimum in (
+        ("--sizes", args.sizes, 1),
+        ("--tenants", args.tenants, 1),
+        ("--rate-limits", args.rate_limits, 0),
+        ("--clients", args.clients, 1),
+    ):
+        for value in values or ():
+            if value < minimum:
+                parser.error(
+                    f"{flag} values must be >= {minimum}, got {value}"
+                )
+    for value in args.availabilities or ():
+        if not 0.0 < value <= 1.0:
+            parser.error(
+                f"--availabilities values must be in (0, 1], got {value}"
+            )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -248,19 +314,27 @@ def main(argv: list[str] | None = None) -> int:
                              "calls/s, 0 = unlimited (default 0 400)")
     parser.add_argument("--availabilities", type=float, nargs="*",
                         default=None,
-                        help="multitenant: victim availability levels the "
-                             "tenant roster cycles through (default 1.0 0.5)")
+                        help="multitenant/serve: service availability levels "
+                             "to sweep (default 1.0 0.5 / 1.0 0.9 0.75 0.5)")
+    parser.add_argument("--clients", type=int, nargs="*", default=None,
+                        help="serve: concurrent client counts to sweep "
+                             "(default 1 8)")
+    parser.add_argument("--requests", type=int, default=200,
+                        help="serve: total requests per load cell "
+                             "(default 200)")
     args = parser.parse_args(argv)
+    _validate_args(parser, args)
 
     tracer = None
     if args.trace or args.profile:
         tracer = obs.enable(obs.Tracer("experiments"))
 
-    # "all" excludes the subprocess-based crash harness and the
-    # multi-tenant contention sweep (many concurrent full runs); run
-    # those explicitly
+    # "all" excludes the subprocess-based crash harness, the
+    # multi-tenant contention sweep (many concurrent full runs), and
+    # the serving load benchmark (its own end-to-end run plus load
+    # cells); run those explicitly
     names = (
-        [n for n in _EXPERIMENTS if n not in ("crash", "multitenant")]
+        [n for n in _EXPERIMENTS if n not in ("crash", "multitenant", "serve")]
         if args.experiment == "all"
         else [args.experiment]
     )

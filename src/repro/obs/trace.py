@@ -78,6 +78,45 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-th percentile (``q`` in [0, 100]).
+
+        Linear interpolation over the fractional rank
+        ``q/100 * (count - 1)``, located in bucket space and mapped to
+        values across each bucket's edge range clamped to the observed
+        ``[min, max]`` — so the estimate never leaves the observed
+        range, an empty histogram reports 0.0, a single sample reports
+        itself exactly, and two samples give the exact interpolated
+        quantiles (e.g. ``percentile(50)`` is their midpoint) whenever
+        they share a bucket.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile q must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        if self.count == 1 or self.min == self.max:
+            return self.min
+        rank = (q / 100.0) * (self.count - 1)
+        cumulative = 0
+        for i, n in enumerate(self.bucket_counts):
+            if n == 0:
+                continue
+            first, last = cumulative, cumulative + n - 1
+            if rank <= last:
+                lower = self.bounds[i - 1] if i > 0 else self.min
+                upper = self.bounds[i] if i < len(self.bounds) else self.max
+                lo = max(lower, self.min)
+                hi = max(min(upper, self.max), lo)
+                # rank can land in the empty gap between the previous
+                # bucket's last sample and this bucket's first (rank <
+                # first); clamp so the estimate stays at this bucket's
+                # floor instead of extrapolating below the observed range
+                frac = (rank - first) / (n - 1) if n > 1 else 0.0
+                frac = min(1.0, max(0.0, frac))
+                return lo + frac * (hi - lo)
+            cumulative += n
+        return self.max  # pragma: no cover - rank <= count-1 always lands
+
     def merge(self, other: "Histogram") -> None:
         if other.bounds != self.bounds:
             raise ValueError("cannot merge histograms with different bounds")

@@ -131,17 +131,28 @@ class CircuitBreaker:
                 if self._half_open_successes >= self.config.success_threshold:
                     self._state = CircuitState.CLOSED
 
-    def record_failure(self) -> None:
+    def record_failure(self) -> bool:
+        """Record one failed dial; returns whether *this call* tripped
+        the breaker.
+
+        The return value exists so callers can attribute a trip to a
+        specific failure without a read-modify-write over ``trips``
+        spanning two lock acquisitions (which double-counts under
+        concurrent failers).
+        """
         with self._lock:
             now = self._tick()
             self._consecutive_failures += 1
             if self._state is CircuitState.HALF_OPEN:
                 self._trip(now)
-            elif (
+                return True
+            if (
                 self._state is CircuitState.CLOSED
                 and self._consecutive_failures >= self.config.failure_threshold
             ):
                 self._trip(now)
+                return True
+            return False
 
     def _trip(self, now: int) -> None:
         self._state = CircuitState.OPEN

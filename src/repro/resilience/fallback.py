@@ -19,9 +19,11 @@ loss:
 from __future__ import annotations
 
 import threading
-from collections.abc import Iterable
+import time
+from collections import OrderedDict
+from collections.abc import Callable, Iterable
 
-from repro.core.exceptions import ServiceError
+from repro.core.exceptions import ConfigurationError, ServiceError
 from repro.core.rng import spawn
 from repro.datagen.entities import DataPoint
 from repro.features.schema import FeatureKind
@@ -32,30 +34,90 @@ __all__ = ["StaleValueCache", "FallbackChain", "build_substitute_map"]
 
 
 class StaleValueCache:
-    """Thread-safe (service, point_id) -> last successful value store."""
+    """Thread-safe (service, point_id) -> last successful value store.
 
-    def __init__(self) -> None:
-        self._values: dict[tuple[str, int], object] = {}
+    Bounded: ``capacity`` caps the number of entries; inserting past it
+    evicts the least-recently-used entry (both :meth:`get` and
+    :meth:`put` count as use).  ``capacity=None`` means unbounded — fine
+    for batch runs, a memory leak for a long-lived serving process.
+
+    Every entry records its insert time (``clock``, default
+    :func:`time.monotonic`; injectable for tests), refreshed on each
+    :meth:`put`.  The timestamp is what the serving layer's TTL tier is
+    built on; the fallback chain itself ignores age — any stale value
+    beats a substitute or a missing cell.
+    """
+
+    def __init__(
+        self,
+        capacity: int | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ConfigurationError("capacity must be >= 1 (or None)")
+        self.capacity = capacity
+        self._clock = clock
+        #: key -> (value, inserted_at); insertion order is LRU order
+        self._values: OrderedDict[tuple[str, int], tuple[object, float]] = (
+            OrderedDict()
+        )
+        #: entries dropped to keep the cache within capacity
+        self.evictions = 0
         self._lock = threading.Lock()
 
     def __getstate__(self) -> dict:
-        return {"_values": self._values}
+        # locks don't pickle; snapshot under the lock so a concurrent
+        # put() can't resize the dict mid-copy.  A non-default clock
+        # must itself be picklable (time.monotonic is).
+        with self._lock:
+            state = {k: v for k, v in self.__dict__.items() if k != "_lock"}
+            state["_values"] = OrderedDict(state["_values"])
+            return state
 
     def __setstate__(self, state: dict) -> None:
-        self._values = state["_values"]
+        self.__dict__.update(state)
         self._lock = threading.Lock()
 
     def put(self, service: str, point_id: int, value: object) -> None:
         with self._lock:
-            self._values[(service, point_id)] = value
+            key = (service, point_id)
+            if key in self._values:
+                self._values.move_to_end(key)
+            self._values[key] = (value, self._clock())
+            while self.capacity is not None and len(self._values) > self.capacity:
+                self._values.popitem(last=False)
+                self.evictions += 1
 
     def get(self, service: str, point_id: int) -> tuple[bool, object]:
         """(hit, value); a cached ``None`` (no output) is a valid hit."""
+        hit, value, _ = self.entry(service, point_id)
+        return hit, value
+
+    def entry(self, service: str, point_id: int) -> tuple[bool, object, float]:
+        """(hit, value, inserted_at); a hit refreshes LRU recency.
+
+        ``inserted_at`` is the cache clock's reading when the entry was
+        last :meth:`put` (0.0 on a miss) — the substrate for TTL
+        freshness decisions.
+        """
         with self._lock:
             key = (service, point_id)
             if key in self._values:
-                return True, self._values[key]
-            return False, MISSING
+                self._values.move_to_end(key)
+                value, inserted_at = self._values[key]
+                return True, value, inserted_at
+            return False, MISSING, 0.0
+
+    def now(self) -> float:
+        """The cache clock's current reading (comparable to
+        ``inserted_at`` from :meth:`entry`)."""
+        return self._clock()
+
+    def clear(self) -> None:
+        """Drop every entry and reset the eviction counter."""
+        with self._lock:
+            self._values.clear()
+            self.evictions = 0
 
     def __len__(self) -> int:
         with self._lock:

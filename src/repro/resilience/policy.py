@@ -302,6 +302,10 @@ class ResiliencePolicy:
         with self._lock:
             self._breakers.clear()
             self._health.clear()
+        # outside the policy lock: the cache serializes on its own lock,
+        # and holding both invites lock-order inversions with callers
+        if self.fallback is not None and self.fallback.stale_cache is not None:
+            self.fallback.stale_cache.clear()
 
     # ------------------------------------------------------------------
     # the guarded call

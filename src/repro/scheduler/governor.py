@@ -207,12 +207,11 @@ class ServiceGovernor:
 
     def on_failure(self, service: str) -> None:
         _, breaker, stats = self._entry(service)
-        if breaker is not None:
-            before = breaker.trips
-            breaker.record_failure()
-            tripped = breaker.trips - before
-        else:
-            tripped = 0
+        # record_failure() reports whether THIS failure tripped the
+        # breaker; reading breaker.trips before/after here would span
+        # two lock acquisitions and double-count trips when several
+        # tenants report failures concurrently
+        tripped = 1 if breaker is not None and breaker.record_failure() else 0
         with self._lock:
             stats.failures += 1
             stats.breaker_trips += tripped

@@ -1,0 +1,40 @@
+"""Online serving layer (DESIGN.md §14).
+
+The batch pipeline ends with a completed, checkpointed run; this
+subpackage turns that run into a long-lived decision service, the
+production framing of Snorkel DryBell (weak supervision as an
+organizational service, not a one-shot script):
+
+* :mod:`repro.serving.artifacts` — load a completed run's deployable
+  artifacts (fusion model, feature schema, featurize seed, feature
+  tables) from the RunStore via its manifest;
+* :mod:`repro.serving.cache` — TTL freshness tier over the fallback
+  chain's :class:`~repro.resilience.fallback.StaleValueCache`
+  (fresh hit -> serve; expired hit -> refresh, degrade to stale);
+* :mod:`repro.serving.batcher` — bounded-queue micro-batcher with
+  max-batch-size / max-wait flush rules;
+* :mod:`repro.serving.server` — :class:`ModelServer`: featurize single
+  points on demand through a :class:`ResiliencePolicy`, predict, and
+  emit :class:`Decision`\\ s bit-identical to the batch pipeline's
+  scores for the same points;
+* :mod:`repro.serving.loadgen` — closed-loop load generator reporting
+  p50/p99 latency and sustained QPS.
+"""
+
+from repro.serving.artifacts import ServingArtifacts
+from repro.serving.batcher import MicroBatcher
+from repro.serving.cache import TTLFeatureCache
+from repro.serving.loadgen import LATENCY_BOUNDS, LoadResult, run_load
+from repro.serving.server import Decision, ModelServer, ServingConfig
+
+__all__ = [
+    "Decision",
+    "LATENCY_BOUNDS",
+    "LoadResult",
+    "MicroBatcher",
+    "ModelServer",
+    "ServingArtifacts",
+    "ServingConfig",
+    "TTLFeatureCache",
+    "run_load",
+]

@@ -1,0 +1,202 @@
+"""Bounded-queue micro-batcher for concurrent serving requests.
+
+Concurrent clients enqueue requests; a single dispatcher thread drains
+the queue into micro-batches and hands each batch to a processing
+function.  Two flush rules, whichever fires first:
+
+* **size flush** — the batch reached ``max_batch_size``;
+* **wait flush** — ``max_wait_s`` elapsed since the batch's *first*
+  request was dequeued (so a lone request is never parked longer than
+  the wait budget waiting for company).
+
+The queue is bounded (``queue_capacity``): when it is full, callers
+block in :meth:`submit` — backpressure, not load shedding, matching
+the governor's "delay, never fail" invariant.
+
+Batching here amortizes *coordination* (queue hops, lock acquisitions,
+cache probes), not model math: the server deliberately scores points
+one row at a time so that decisions cannot depend on batch
+composition (see :mod:`repro.serving.server`).  Correctness therefore
+never depends on how requests happened to be grouped — the batcher is
+free to form any batches the arrival order produces.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections.abc import Callable, Sequence
+
+from repro.core.exceptions import ConfigurationError
+
+__all__ = ["MicroBatcher"]
+
+#: dispatcher shutdown sentinel (never a valid request payload)
+_STOP = object()
+
+
+class _PendingRequest:
+    """One enqueued request and its completion rendezvous."""
+
+    __slots__ = ("payload", "result", "error", "done")
+
+    def __init__(self, payload: object) -> None:
+        self.payload = payload
+        self.result: object = None
+        self.error: BaseException | None = None
+        self.done = threading.Event()
+
+
+class MicroBatcher:
+    """Single-dispatcher micro-batcher with bounded-queue backpressure.
+
+    ``process`` receives a non-empty list of payloads (in dequeue
+    order) and must return one result per payload, aligned by index.
+    An exception raised by ``process`` is re-raised in *every* blocked
+    submitter of that batch.
+    """
+
+    def __init__(
+        self,
+        process: Callable[[list[object]], Sequence[object]],
+        max_batch_size: int = 8,
+        max_wait_s: float = 0.002,
+        queue_capacity: int = 256,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ConfigurationError("max_batch_size must be >= 1")
+        if max_wait_s < 0:
+            raise ConfigurationError("max_wait_s must be >= 0")
+        if queue_capacity < 1:
+            raise ConfigurationError("queue_capacity must be >= 1")
+        self.process = process
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_s
+        self._clock = clock
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_capacity)
+        self._lock = threading.Lock()
+        self._closed = False
+        self.batches = 0
+        self.requests = 0
+        self.size_flushes = 0
+        self.timeout_flushes = 0
+        self.max_batch = 0
+        self._dispatcher = threading.Thread(
+            target=self._run, name="microbatch-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+    def submit(self, payload: object) -> object:
+        """Enqueue one request and block until its result is ready.
+
+        Blocks in two places by design: on a full queue (backpressure)
+        and on the completion event (the request's batch must be
+        processed).  Raises whatever the batch's ``process`` call
+        raised.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("MicroBatcher is closed")
+        pending = _PendingRequest(payload)
+        self._queue.put(pending)
+        pending.done.wait()
+        if pending.error is not None:
+            raise pending.error
+        return pending.result
+
+    def close(self) -> None:
+        """Drain outstanding requests, then stop the dispatcher."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.put(_STOP)
+        self._dispatcher.join()
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # dispatcher side
+    # ------------------------------------------------------------------
+    def _collect_batch(self) -> tuple[list[_PendingRequest], bool, bool]:
+        """Block for one request, then gather until a flush rule fires.
+
+        Returns ``(batch, size_flushed, stop)``.
+        """
+        first = self._queue.get()
+        if first is _STOP:
+            # fail any request that raced past the closed check so its
+            # submitter cannot block forever
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is not _STOP:
+                    item.error = RuntimeError("MicroBatcher is closed")
+                    item.done.set()
+            return [], False, True
+        batch = [first]
+        deadline = self._clock() + self.max_wait_s
+        while len(batch) < self.max_batch_size:
+            remaining = deadline - self._clock()
+            if remaining <= 0:
+                return batch, False, False
+            try:
+                item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                return batch, False, False
+            if item is _STOP:
+                # flush what we have; the main loop exits afterwards
+                self._queue.put(_STOP)
+                return batch, False, False
+            batch.append(item)
+        return batch, True, False
+
+    def _run(self) -> None:
+        while True:
+            batch, size_flushed, stop = self._collect_batch()
+            if stop:
+                return
+            with self._lock:
+                self.batches += 1
+                self.requests += len(batch)
+                self.max_batch = max(self.max_batch, len(batch))
+                if size_flushed:
+                    self.size_flushes += 1
+                else:
+                    self.timeout_flushes += 1
+            try:
+                results = self.process([p.payload for p in batch])
+                if len(results) != len(batch):
+                    raise RuntimeError(
+                        f"process returned {len(results)} results for a "
+                        f"batch of {len(batch)}"
+                    )
+            except BaseException as exc:  # noqa: BLE001 - forwarded to submitters
+                for pending in batch:
+                    pending.error = exc
+                    pending.done.set()
+                continue
+            for pending, result in zip(batch, results):
+                pending.result = result
+                pending.done.set()
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "batches": self.batches,
+                "requests": self.requests,
+                "size_flushes": self.size_flushes,
+                "timeout_flushes": self.timeout_flushes,
+                "max_batch": self.max_batch,
+            }

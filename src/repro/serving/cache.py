@@ -1,0 +1,91 @@
+"""TTL freshness tier over the fallback chain's stale-value cache.
+
+The batch resilience layer keeps a :class:`StaleValueCache` purely as a
+degradation tier — *any* previously seen value beats a substitute or a
+missing cell, no matter how old.  A long-lived serving process needs a
+second axis: **freshness**.  This module layers TTL semantics on the
+same physical cache (one store, two readers):
+
+* **fresh hit** — entry younger than the TTL: serve it without dialing
+  the service at all (the latency win);
+* **stale hit** — entry exists but has outlived the TTL: the server
+  must *refresh* through the resilience policy; if the refresh dial
+  fails, the policy's fallback chain finds this very entry in its
+  stale tier and degrades to it (the availability win);
+* **miss** — never seen: the server must compute through the policy.
+
+Sharing the physical store is what makes the refresh-failure path
+coherent: the TTL tier never copies values, so whatever the fallback
+chain serves under degradation is byte-for-byte the entry the TTL tier
+judged stale.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.exceptions import ConfigurationError
+from repro.features.table import MISSING
+from repro.resilience.fallback import StaleValueCache
+
+__all__ = ["TTLFeatureCache"]
+
+
+class TTLFeatureCache:
+    """Freshness-aware read view over a :class:`StaleValueCache`.
+
+    ``ttl_s=None`` means entries never expire (every hit is fresh) —
+    the right setting when the corpus is static and the batch values
+    are authoritative.  ``ttl_s=0.0`` means every hit is already
+    expired — useful in chaos tests to force the refresh path while
+    keeping the stale tier warm.  Writes go through
+    :meth:`StaleValueCache.put` (directly or via the policy's success
+    path); this view only classifies reads.
+    """
+
+    def __init__(
+        self, store: StaleValueCache, ttl_s: float | None = None
+    ) -> None:
+        if ttl_s is not None and ttl_s < 0:
+            raise ConfigurationError("ttl_s must be >= 0 (or None)")
+        self.store = store
+        self.ttl_s = ttl_s
+        self._lock = threading.Lock()
+        self.fresh_hits = 0
+        self.stale_hits = 0
+        self.misses = 0
+
+    def lookup(self, service: str, point_id: int) -> tuple[str, object]:
+        """Classify one read: ``(state, value)``.
+
+        ``state`` is ``"fresh"`` (serve the value as-is), ``"stale"``
+        (value present but expired — refresh through the policy), or
+        ``"miss"`` (value is :data:`MISSING`).
+        """
+        hit, value, inserted_at = self.store.entry(service, point_id)
+        if not hit:
+            with self._lock:
+                self.misses += 1
+            return "miss", MISSING
+        age = self.store.now() - inserted_at
+        if self.ttl_s is None or age < self.ttl_s:
+            with self._lock:
+                self.fresh_hits += 1
+            return "fresh", value
+        with self._lock:
+            self.stale_hits += 1
+        return "stale", value
+
+    def put(self, service: str, point_id: int, value: object) -> None:
+        """Write through to the underlying store (refreshes the age)."""
+        self.store.put(service, point_id, value)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "fresh_hits": self.fresh_hits,
+                "stale_hits": self.stale_hits,
+                "misses": self.misses,
+                "entries": len(self.store),
+                "evictions": self.store.evictions,
+            }

@@ -72,3 +72,67 @@ def test_trace_flag_writes_trace_json(tmp_path, capsys):
     assert data["kind"] == "trace"
     names = [c["name"] for c in data["trace"]["children"]]
     assert names == ["experiment.table1"]
+
+
+# ---------------------------------------------------------------------------
+# numeric-argument validation: typo'd sweeps must fail in milliseconds
+# with a one-line error, not after the first expensive cell
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "argv, fragment",
+    [
+        (["table1", "--scale", "-1"], "--scale must be > 0"),
+        (["table1", "--scale", "0"], "--scale must be > 0"),
+        (["table3", "--model-seeds", "0"], "--model-seeds must be >= 1"),
+        (["chaos", "--workers", "0"], "--workers must be >= 1"),
+        (["serve", "--requests", "0"], "--requests must be >= 1"),
+        (["serve", "--clients", "4", "0"], "--clients values must be >= 1"),
+        (["scaling", "--sizes", "-5"], "--sizes values must be >= 1"),
+        (["multitenant", "--tenants", "-3"], "--tenants values must be >= 1"),
+        (
+            ["multitenant", "--rate-limits", "-1"],
+            "--rate-limits values must be >= 0",
+        ),
+        (
+            ["serve", "--availabilities", "1.5"],
+            "--availabilities values must be in (0, 1]",
+        ),
+        (
+            ["chaos", "--availabilities", "0"],
+            "--availabilities values must be in (0, 1]",
+        ),
+    ],
+)
+def test_invalid_numeric_args_rejected(argv, fragment, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+    assert fragment in capsys.readouterr().err
+
+
+def test_serve_via_cli(tmp_path, capsys, monkeypatch):
+    import json
+
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+    code = main([
+        "serve", "--scale", "0.05", "--seed", "3",
+        "--availabilities", "1.0", "0.5", "--clients", "1",
+        "--requests", "20", "--run-dir", str(tmp_path / "run"),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Serving under chaos" in out
+    assert (
+        "serving identity: decisions bit-identical across batching, "
+        "cache state, concurrency, and availability"
+    ) in out
+    assert "serving degradation is graceful" in out
+    data = json.loads((tmp_path / "BENCH_serving.json").read_text())
+    assert data["kind"] == "bench"
+    metrics = data["metrics"]
+    assert metrics["identity_ok"] is True
+    assert metrics["graceful"] is True
+    assert len(metrics["cells"]) == 2  # 2 availabilities x 1 client count
+    for cell in metrics["cells"]:
+        assert cell["identical"] is True
+        assert cell["qps"] > 0

@@ -280,3 +280,70 @@ def test_span_tree_survives_exceptions():
     assert tracer.find_spans("outer")[0].finished
     assert tracer.find_spans("inner")[0].finished
     assert [c.name for c in tracer.root.children] == ["outer", "after"]
+
+
+# ---------------------------------------------------------------------------
+# histogram percentiles (the serving latency report is built on these)
+# ---------------------------------------------------------------------------
+def test_percentile_empty_histogram_is_zero():
+    h = Histogram(bounds=(1.0,))
+    assert h.percentile(0.0) == 0.0
+    assert h.percentile(50.0) == 0.0
+    assert h.percentile(100.0) == 0.0
+
+
+def test_percentile_single_sample_reports_itself():
+    h = Histogram(bounds=(1.0, 10.0))
+    h.record(3.7)
+    for q in (0.0, 50.0, 99.0, 100.0):
+        assert h.percentile(q) == 3.7
+
+
+def test_percentile_two_samples_interpolate_in_shared_bucket():
+    h = Histogram(bounds=(10.0,))
+    h.record(2.0)
+    h.record(4.0)
+    assert h.percentile(0.0) == 2.0
+    assert h.percentile(50.0) == pytest.approx(3.0)
+    assert h.percentile(100.0) == 4.0
+
+
+def test_percentile_rejects_out_of_range_q():
+    h = Histogram(bounds=(1.0,))
+    h.record(0.5)
+    with pytest.raises(ValueError):
+        h.percentile(-0.1)
+    with pytest.raises(ValueError):
+        h.percentile(100.1)
+
+
+def test_percentile_identical_samples_exact():
+    h = Histogram(bounds=(1.0, 2.0))
+    for _ in range(5):
+        h.record(1.5)
+    assert h.percentile(50.0) == 1.5
+    assert h.percentile(99.0) == 1.5
+
+
+def test_percentile_monotone_and_clamped_to_observed_range():
+    h = Histogram(bounds=(0.01, 0.1, 1.0, 10.0))
+    values = [0.005, 0.02, 0.03, 0.5, 0.7, 2.0, 2.0, 4.0, 9.0]
+    for v in values:
+        h.record(v)
+    grid = [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0]
+    estimates = [h.percentile(q) for q in grid]
+    assert estimates == sorted(estimates)
+    assert estimates[0] == min(values)
+    assert estimates[-1] == max(values)
+    for e in estimates:
+        assert min(values) <= e <= max(values)
+
+
+def test_percentile_after_merge_sees_both_populations():
+    a, b = Histogram(bounds=(10.0,)), Histogram(bounds=(10.0,))
+    a.record(1.0)
+    b.record(9.0)
+    a.merge(b)
+    assert a.percentile(0.0) == 1.0
+    assert a.percentile(100.0) == 9.0
+    assert 1.0 < a.percentile(50.0) < 9.0

@@ -733,3 +733,159 @@ class TestConcurrentSharing:
         # the mid-flight pickles produced working, independent copies
         clone = pickle.loads(pickle.dumps(policy))
         assert clone.health_report().services[resource.name].attempts > 0
+
+
+# ----------------------------------------------------------------------
+# stale-cache bounds: LRU eviction and insert timestamps
+# ----------------------------------------------------------------------
+class TestStaleCacheBounds:
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            StaleValueCache(capacity=0)
+
+    def test_lru_eviction_order(self):
+        cache = StaleValueCache(capacity=2)
+        cache.put("svc", 1, "a")
+        cache.put("svc", 2, "b")
+        assert cache.get("svc", 1) == (True, "a")  # refreshes 1's recency
+        cache.put("svc", 3, "c")  # evicts 2, the least recently used
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.get("svc", 2) == (False, MISSING)
+        assert cache.get("svc", 1) == (True, "a")
+        assert cache.get("svc", 3) == (True, "c")
+
+    def test_put_refresh_does_not_evict(self):
+        cache = StaleValueCache(capacity=2)
+        cache.put("svc", 1, "a")
+        cache.put("svc", 2, "b")
+        cache.put("svc", 1, "a2")  # in-place update: no eviction
+        assert cache.evictions == 0
+        assert cache.get("svc", 2) == (True, "b")
+        assert cache.get("svc", 1) == (True, "a2")
+
+    def test_entry_timestamps_use_injected_clock(self):
+        tick = [100.0]
+        cache = StaleValueCache(clock=lambda: tick[0])
+        cache.put("svc", 1, "v")
+        tick[0] = 250.0
+        assert cache.entry("svc", 1) == (True, "v", 100.0)
+        assert cache.now() == 250.0
+        cache.put("svc", 1, "v2")  # re-put refreshes the timestamp
+        assert cache.entry("svc", 1)[2] == 250.0
+
+    def test_miss_entry(self):
+        assert StaleValueCache().entry("svc", 9) == (False, MISSING, 0.0)
+
+    def test_clear_resets_evictions(self):
+        cache = StaleValueCache(capacity=1)
+        cache.put("svc", 1, "a")
+        cache.put("svc", 2, "b")
+        assert cache.evictions == 1
+        cache.clear()
+        assert len(cache) == 0 and cache.evictions == 0
+
+    def test_pickle_round_trip(self):
+        cache = StaleValueCache(capacity=4)
+        cache.put("svc", 1, "a")
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.capacity == 4
+        assert clone.get("svc", 1) == (True, "a")
+        clone.put("svc", 2, "b")  # the recreated lock works
+        assert len(clone) == 2 and len(cache) == 1
+
+
+# ----------------------------------------------------------------------
+# counter exactness under concurrency (the bugfix contract): health
+# totals must be exactly right, not merely monotone — serving stats and
+# BENCH artifacts report them
+# ----------------------------------------------------------------------
+class TestCounterExactness:
+    N_THREADS = 8
+    CALLS = 25
+
+    def _hammer(self, policy, resource, point):
+        errors = []
+
+        def worker(tid):
+            try:
+                for _ in range(self.CALLS):
+                    policy.call(
+                        resource, point,
+                        rng_factory=lambda: spawn(5, f"c{tid}"),
+                        seed=5,
+                    )
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        return policy.health(resource.name)
+
+    def test_always_failing_totals_exact(self, suite, small_corpus):
+        point = small_corpus.points[0]
+        resource = next(r for r in suite if r.supports(point.modality))
+        client = FaultInjector(
+            FaultSpec(transient_rate=1.0), seed=3
+        ).wrap(resource)
+        policy = ResiliencePolicy(retry=RetryConfig(max_attempts=3), seed=0)
+        health = self._hammer(policy, client, point)
+        total = self.N_THREADS * self.CALLS
+        assert health.attempts == total * 3
+        assert health.failures == total * 3
+        assert health.retries == total * 2
+        assert health.fallbacks == total
+        assert health.successes == 0
+
+    def test_faultless_totals_exact(self, suite, small_corpus):
+        point = small_corpus.points[0]
+        resource = next(r for r in suite if r.supports(point.modality))
+        policy = ResiliencePolicy(retry=RetryConfig(max_attempts=3), seed=0)
+        health = self._hammer(policy, resource, point)
+        total = self.N_THREADS * self.CALLS
+        assert health.attempts == total
+        assert health.successes == total
+        assert health.failures == 0
+        assert health.retries == 0
+        assert health.fallbacks == 0
+
+
+class TestGovernorTripExactness:
+    def test_shared_breaker_trips_exactly_once(self):
+        from repro.scheduler import GovernorConfig, ServiceGovernor
+
+        governor = ServiceGovernor(
+            GovernorConfig(circuit=CircuitConfig(failure_threshold=3))
+        )
+        n_threads, ops = 8, 50
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(ops):
+                    governor.on_failure("svc")
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        stats = governor.report()["svc"]
+        assert stats.failures == n_threads * ops
+        # nothing calls allow(), so the breaker never half-opens: the
+        # trip happens exactly once no matter the interleaving, and
+        # attributing it via record_failure()'s return value must not
+        # double-count it
+        assert governor.breaker("svc").trips == 1
+        assert stats.breaker_trips == 1
+        assert governor.totals()["breaker_trips"] == 1
