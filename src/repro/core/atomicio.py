@@ -12,6 +12,12 @@ content — never a truncated hybrid.
 Content hashes (SHA-256) are the integrity primitive: artifact stores
 name files by their hash and verify it on read, turning silent
 corruption into a detectable, quarantinable event.
+
+A process-wide *fault layer* (see :mod:`repro.runs.faultfs`) can be
+installed with :func:`set_fault_layer` to inject storage failures into
+every atomic write — I/O errors, fsync failures, silent post-write
+corruption, and torn directory entries — so the self-healing machinery
+above this module is testable against real fault shapes.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
+from typing import Protocol
 
 __all__ = [
     "atomic_write_bytes",
@@ -29,7 +36,43 @@ __all__ = [
     "fsync_dir",
     "sha256_hex",
     "canonical_json",
+    "FaultLayer",
+    "set_fault_layer",
+    "fault_layer",
 ]
+
+
+class FaultLayer(Protocol):
+    """Injection interface consulted by :func:`atomic_write_bytes`."""
+
+    def on_write(self, path: Path, data: bytes) -> tuple[bytes, bool]:
+        """Called before the write.  May raise :class:`OSError` (EIO /
+        ENOSPC); returns the bytes to actually persist (possibly
+        corrupted) and whether the final rename should happen (``False``
+        simulates a torn directory entry: payload durable, name lost).
+        """
+
+    def on_fsync(self, path: Path) -> None:
+        """Called before the data fsync.  May raise :class:`OSError`."""
+
+
+_fault_layer: FaultLayer | None = None
+
+
+def set_fault_layer(layer: FaultLayer | None) -> FaultLayer | None:
+    """Install (or clear, with ``None``) the process-wide fault layer.
+
+    Returns the previously installed layer so callers can restore it.
+    """
+    global _fault_layer
+    previous = _fault_layer
+    _fault_layer = layer
+    return previous
+
+
+def fault_layer() -> FaultLayer | None:
+    """The currently installed fault layer, if any."""
+    return _fault_layer
 
 
 def sha256_hex(data: bytes) -> str:
@@ -70,6 +113,13 @@ def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    layer = _fault_layer
+    rename = True
+    if layer is not None:
+        # may raise OSError (injected EIO/ENOSPC) or hand back silently
+        # corrupted bytes / a dropped rename — the store's read-side
+        # hash verification and the repair layer must cope with both
+        data, rename = layer.on_write(path, data)
     fd, tmp_name = tempfile.mkstemp(
         prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
     )
@@ -78,11 +128,19 @@ def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
         with os.fdopen(fd, "wb") as handle:
             handle.write(data)
             handle.flush()
+            if layer is not None:
+                layer.on_fsync(path)
             os.fsync(handle.fileno())
-        os.replace(tmp, path)
+        if rename:
+            os.replace(tmp, path)
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise
+    if not rename:
+        # torn directory entry: the payload hit disk but its name was
+        # lost — observers see no file at all, never a truncated one
+        tmp.unlink(missing_ok=True)
+        return path
     fsync_dir(path.parent)
     return path
 

@@ -96,7 +96,9 @@ class IntegrityError(CheckpointError):
 
     Raised *instead of* silently recomputing: a corrupt artifact means
     the store can no longer vouch for the run's history, so the bad
-    file is quarantined and the operator decides what to do.
+    file is quarantined and either an auto-repair layer rebuilds it
+    from lineage (``repro.runs.repair``) or the operator decides what
+    to do (``python -m repro.experiments scrub --repair``).
     """
 
     def __init__(self, message: str, quarantined: object = None):
@@ -108,6 +110,36 @@ class IntegrityError(CheckpointError):
         # default Exception pickling replays args only; keep the
         # quarantine path when the error crosses a process boundary
         return (type(self), (self.args[0] if self.args else "", self.quarantined))
+
+
+class ArtifactMissingError(CheckpointError):
+    """An artifact referenced by a run manifest is absent from the store.
+
+    The same repair path as corruption applies: the reference's content
+    hash still identifies the exact bytes, so the producing stage can be
+    replayed from its lineage and the rebuilt bytes verified against the
+    original hash (``scrub --repair`` or an auto-repairing reader).
+    """
+
+    def __init__(self, message: str, ref: object = None):
+        super().__init__(message)
+        #: the dangling :class:`~repro.runs.store.ArtifactRef`
+        self.ref = ref
+
+    def __reduce__(self):
+        return (type(self), (self.args[0] if self.args else "", self.ref))
+
+
+class RepairError(CheckpointError):
+    """Lineage-driven artifact repair could not restore the original bytes.
+
+    Raised when the damaged artifact has no producing stage in the
+    manifest (orphan), a lineage input cannot itself be restored, the
+    stage replay is non-deterministic, or the rebuilt bytes hash
+    differently from the recorded reference.  Repair never substitutes
+    different bytes: it either restores bit-identical content or fails
+    with this error and a lineage report.
+    """
 
 
 class SimulatedCrashError(ReproError):

@@ -32,7 +32,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.exec import Executor
     from repro.resilience.policy import ResiliencePolicy
     from repro.runs.checkpoint import RunCheckpointer
-from repro.core.exceptions import ConfigurationError
+    from repro.runs.manifest import RunManifest
+    from repro.runs.store import RunStore
+from repro.core.exceptions import ConfigurationError, RepairError
 from repro.core.rng import derive_seed, spawn
 from repro.exec import ExecutorConfig
 from repro.datagen.corpus import Corpus, CorpusSplits
@@ -63,6 +65,64 @@ from repro.resources.featurize import featurize_corpus
 from repro.resources.service_sets import IMAGE_SET
 
 __all__ = ["CrossModalPipeline", "CurationResult", "PipelineResult"]
+
+
+# ----------------------------------------------------------------------
+# stage codecs (shared by checkpointed runs and lineage repair)
+#
+# A repaired artifact must hash bit-identically to the original, so the
+# checkpoint path and the offline replay path must encode through the
+# exact same functions.  Imports are lazy: repro.runs.codecs imports
+# this module for CurationResult.
+# ----------------------------------------------------------------------
+def _encode_feature_tables(tables: dict[str, FeatureTable]) -> dict:
+    from repro.features.io import table_to_dict
+
+    return {
+        key: ("feature_table", table_to_dict(table)) for key, table in tables.items()
+    }
+
+
+def _decode_feature_tables(payloads: dict) -> dict[str, FeatureTable]:
+    from repro.features.io import table_from_dict
+
+    return {key: table_from_dict(data) for key, data in payloads.items()}
+
+
+def _encode_curation_stage(curation: "CurationResult") -> dict:
+    from repro.runs import codecs
+
+    return {"curation": ("curation_result", codecs.encode_curation(curation))}
+
+
+def _decode_curation_stage(payloads: dict) -> "CurationResult":
+    from repro.runs import codecs
+
+    return codecs.decode_curation(payloads["curation"])
+
+
+def _encode_train_stage(model: object) -> dict:
+    from repro.runs import codecs
+
+    return {"model": ("fusion_model", codecs.encode_model(model))}
+
+
+def _decode_train_stage(payloads: dict) -> object:
+    from repro.runs import codecs
+
+    return codecs.decode_model(payloads["model"])
+
+
+def _encode_evaluate_stage(pair: tuple) -> dict:
+    from repro.runs import codecs
+
+    return {"evaluation": ("evaluation", codecs.encode_evaluation(pair[0], pair[1]))}
+
+
+def _decode_evaluate_stage(payloads: dict) -> tuple:
+    from repro.runs import codecs
+
+    return codecs.decode_evaluation(payloads["evaluation"])
 
 
 @dataclass
@@ -556,9 +616,6 @@ class CrossModalPipeline:
         an RNG stream derived purely from the recorded seeds, a resumed
         run is bit-identical to an uninterrupted one.
         """
-        from repro.features.io import table_from_dict, table_to_dict
-        from repro.runs import codecs
-
         cfg = self.config
         timings: dict[str, float] = {}
         resumed: list[str] = []
@@ -590,13 +647,8 @@ class CrossModalPipeline:
                     "featurize",
                     config=feat_config,
                     compute=compute_featurize,
-                    encode=lambda ts: {
-                        key: ("feature_table", table_to_dict(table))
-                        for key, table in ts.items()
-                    },
-                    decode=lambda payloads: {
-                        key: table_from_dict(data) for key, data in payloads.items()
-                    },
+                    encode=_encode_feature_tables,
+                    decode=_decode_feature_tables,
                 )
                 tables = outcome.value
                 feat_hashes = outcome.artifact_hashes
@@ -631,12 +683,8 @@ class CrossModalPipeline:
                         },
                     },
                     compute=lambda: self.curate(text_table, image_table),
-                    encode=lambda c: {
-                        "curation": ("curation_result", codecs.encode_curation(c))
-                    },
-                    decode=lambda payloads: codecs.decode_curation(
-                        payloads["curation"]
-                    ),
+                    encode=_encode_curation_stage,
+                    decode=_decode_curation_stage,
                 )
                 curation = outcome.value
                 curation_hash = outcome.artifact_hashes
@@ -662,10 +710,8 @@ class CrossModalPipeline:
                         "inputs": {**feat_hashes, **curation_hash},
                     },
                     compute=lambda: self.train(text_table, curation),
-                    encode=lambda m: {
-                        "model": ("fusion_model", codecs.encode_model(m))
-                    },
-                    decode=lambda payloads: codecs.decode_model(payloads["model"]),
+                    encode=_encode_train_stage,
+                    decode=_decode_train_stage,
                 )
                 model = outcome.value
                 model_hash = outcome.artifact_hashes
@@ -689,15 +735,8 @@ class CrossModalPipeline:
                         },
                     },
                     compute=lambda: self.evaluate(model, test_table),
-                    encode=lambda pair: {
-                        "evaluation": (
-                            "evaluation",
-                            codecs.encode_evaluation(pair[0], pair[1]),
-                        )
-                    },
-                    decode=lambda payloads: codecs.decode_evaluation(
-                        payloads["evaluation"]
-                    ),
+                    encode=_encode_evaluate_stage,
+                    decode=_decode_evaluate_stage,
                 )
                 metrics, scores = outcome.value
                 if outcome.reused:
@@ -716,4 +755,89 @@ class CrossModalPipeline:
             timings=timings,
             test_scores=scores,
             resumed_stages=resumed,
+        )
+
+    # ------------------------------------------------------------------
+    # lineage repair
+    # ------------------------------------------------------------------
+    def recompute_stage(
+        self,
+        name: str,
+        manifest: "RunManifest",
+        store: "RunStore",
+        splits: CorpusSplits,
+    ) -> dict:
+        """Offline replay of one recorded stage, for lineage repair.
+
+        Recomputes stage ``name`` exactly as a checkpointed :meth:`run`
+        would — same derived seeds, same codecs — reading its upstream
+        inputs from ``store`` (the :class:`~repro.runs.repair.RepairEngine`
+        heals those first).  Returns the stage's checkpoint encoding
+        ``{artifact: (kind, payload)}``; the caller verifies the encoded
+        bytes hash to the recorded references before restoring anything.
+
+        The pipeline must be constructed with the run's exact
+        configuration, or the rebuilt bytes will (correctly) fail the
+        repair oracle.  Raises :class:`RepairError` for stages that
+        cannot be replayed offline — notably a featurize stage recorded
+        under a resilience degradation regime, whose injected service
+        faults this replay has no policy to reproduce.
+        """
+        record = manifest.stages.get(name)
+        if record is None:
+            raise RepairError(f"run manifest records no stage {name!r} to replay")
+
+        if name == "featurize":
+            config = record.config if isinstance(record.config, dict) else {}
+            if "resilience" in config and self.resilience is None:
+                raise RepairError(
+                    "featurize stage was recorded under a resilience degradation "
+                    "regime; offline repair cannot reproduce injected service "
+                    "faults — re-run the experiment in a fresh --run-dir instead"
+                )
+            return _encode_feature_tables(
+                {
+                    "text": self.featurize(splits.text_labeled, include_labels=True),
+                    "image": self.featurize(
+                        splits.image_unlabeled, include_labels=False
+                    ),
+                    "test": self.featurize(splits.image_test, include_labels=True),
+                }
+            )
+
+        def upstream(stage: str, key: str) -> object:
+            upstream_record = manifest.stages.get(stage)
+            if upstream_record is None:
+                raise RepairError(
+                    f"replaying stage {name!r} needs the {stage!r} record, "
+                    f"which the manifest lacks"
+                )
+            ref = upstream_record.artifacts.get(key)
+            if ref is None:
+                raise RepairError(
+                    f"replaying stage {name!r} needs artifact {key!r} of "
+                    f"stage {stage!r}, which its record does not list"
+                )
+            return store.get_json(ref)
+
+        def feature_table(key: str) -> FeatureTable:
+            from repro.features.io import table_from_dict
+
+            return table_from_dict(upstream("featurize", key))
+
+        if name == "curate":
+            return _encode_curation_stage(
+                self.curate(feature_table("text"), feature_table("image"))
+            )
+        if name == "train":
+            curation = _decode_curation_stage(
+                {"curation": upstream("curate", "curation")}
+            )
+            return _encode_train_stage(self.train(feature_table("text"), curation))
+        if name == "evaluate":
+            model = _decode_train_stage({"model": upstream("train", "model")})
+            return _encode_evaluate_stage(self.evaluate(model, feature_table("test")))
+        raise RepairError(
+            f"stage {name!r} has no offline replay; repairable stages are "
+            f"featurize, curate, train, and evaluate"
         )

@@ -86,6 +86,29 @@ Online serving (see DESIGN.md "Online serving path"):
 
     python -m repro.experiments serve --scale 0.15 --seed 1
     python -m repro.experiments serve --clients 1 8 --requests 400
+
+Self-healing storage (see DESIGN.md "Self-healing storage"):
+
+    scrub --run-dir DIR        audit every artifact the run's manifest
+                               references (healthy/corrupt/missing, plus
+                               orphans); exits with the verdict line
+    scrub --run-dir DIR --repair
+                               additionally rebuild damaged artifacts by
+                               replaying their producing stages; the
+                               original content hash is the acceptance
+                               oracle (bit-identical or fail loudly)
+    storagechaos               sweep fault type x rate with seeded
+                               filesystem fault injection and gate on
+                               "bit-identical after repair, or typed
+                               error — never wrong bytes"
+    --auto-repair              end_to_end: rebuild damaged artifacts in
+                               place during checkpoint replay
+    --fault-types T [T ...]    storagechaos: eio enospc fsync bitflip torn
+    --fault-rates R [R ...]    storagechaos: per-write fault probabilities
+
+    python -m repro.experiments scrub --run-dir runs/e2e --repair
+    python -m repro.experiments storagechaos --scale 0.08 \\
+        --fault-types bitflip torn --fault-rates 0.4
 """
 
 from __future__ import annotations
@@ -110,17 +133,20 @@ from repro.experiments.multitenant import (
     run_multitenant,
 )
 from repro.experiments.scaling import run_scaling
+from repro.experiments.scrub import run_scrub
 from repro.experiments.serve import (
     DEFAULT_CLIENT_COUNTS,
     DEFAULT_SERVE_AVAILABILITIES,
     run_serve,
 )
+from repro.experiments.storagechaos import run_storagechaos
 from repro.experiments.table1 import run_table1
+from repro.runs import FAULT_TYPES
 
 _EXPERIMENTS = (
     "table1", "table2", "table3", "figure5", "figure6", "figure7",
     "fusion", "lf", "ablations", "chaos", "crash", "end_to_end",
-    "scaling", "multitenant", "serve",
+    "scaling", "multitenant", "serve", "storagechaos", "scrub",
 )
 
 
@@ -172,7 +198,18 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
         return run_end_to_end(task=task, scale=scale, seed=seed,
                               run_dir=args.run_dir, resume=args.resume,
                               executor=executor,
-                              graph_backend=args.graph_backend).render()
+                              graph_backend=args.graph_backend,
+                              auto_repair=args.auto_repair).render()
+    if name == "storagechaos":
+        task = (args.tasks or ["CT1"])[0]
+        return run_storagechaos(
+            task=task, scale=scale, seed=seed,
+            fault_types=tuple(args.fault_types) if args.fault_types else None,
+            fault_rates=tuple(args.fault_rates) if args.fault_rates else None,
+            out_dir=args.run_dir,
+        ).render()
+    if name == "scrub":
+        return run_scrub(args.run_dir, repair=args.repair).render()
     if name == "scaling":
         executor = None
         if args.backend is not None or args.workers is not None:
@@ -257,6 +294,13 @@ def _validate_args(
             parser.error(
                 f"--availabilities values must be in (0, 1], got {value}"
             )
+    for value in args.fault_rates or ():
+        if not 0.0 <= value <= 1.0:
+            parser.error(
+                f"--fault-rates values must be in [0, 1], got {value}"
+            )
+    if args.experiment == "scrub" and not args.run_dir:
+        parser.error("scrub requires --run-dir pointing at a checkpointed run")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -322,6 +366,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--requests", type=int, default=200,
                         help="serve: total requests per load cell "
                              "(default 200)")
+    parser.add_argument("--auto-repair", action="store_true",
+                        help="end_to_end: rebuild damaged artifacts in "
+                             "place during checkpoint replay (recompute, "
+                             "verify against the recorded content hash, "
+                             "restore) instead of aborting")
+    parser.add_argument("--repair", action="store_true",
+                        help="scrub: rebuild corrupt/missing artifacts by "
+                             "replaying their producing stages from lineage")
+    parser.add_argument("--fault-types", choices=FAULT_TYPES, nargs="*",
+                        default=None,
+                        help="storagechaos: fault types to inject "
+                             "(default: all five)")
+    parser.add_argument("--fault-rates", type=float, nargs="*", default=None,
+                        help="storagechaos: per-write fault probabilities "
+                             "to sweep (default 0.25 0.6)")
     args = parser.parse_args(argv)
     _validate_args(parser, args)
 
@@ -330,11 +389,16 @@ def main(argv: list[str] | None = None) -> int:
         tracer = obs.enable(obs.Tracer("experiments"))
 
     # "all" excludes the subprocess-based crash harness, the
-    # multi-tenant contention sweep (many concurrent full runs), and
-    # the serving load benchmark (its own end-to-end run plus load
-    # cells); run those explicitly
+    # multi-tenant contention sweep (many concurrent full runs), the
+    # serving load benchmark (its own end-to-end run plus load cells),
+    # the storage chaos sweep (many full runs under fault injection),
+    # and scrub (needs an existing --run-dir); run those explicitly
     names = (
-        [n for n in _EXPERIMENTS if n not in ("crash", "multitenant", "serve")]
+        [
+            n
+            for n in _EXPERIMENTS
+            if n not in ("crash", "multitenant", "serve", "storagechaos", "scrub")
+        ]
         if args.experiment == "all"
         else [args.experiment]
     )

@@ -35,6 +35,7 @@ __all__ = [
     "Table2Result",
     "Figure5Result",
     "EndToEndRun",
+    "build_pipeline_for_run",
     "run_task_end_to_end",
     "run_table2",
     "run_figure5",
@@ -42,6 +43,35 @@ __all__ = [
     "PAPER_TABLE2",
     "default_budgets",
 ]
+
+
+def build_pipeline_for_run(
+    task: str,
+    scale: float,
+    seed: int,
+    config: "PipelineConfig | None" = None,
+):
+    """The exact pipeline + splits a checkpointed ``end_to_end`` run uses.
+
+    Factored out of :func:`run_end_to_end` so lineage repair
+    (``scrub --repair``, ``storagechaos``) replays stages against the
+    identical corpora, resource catalog (``n_history=10_000``), and
+    configuration the original run computed with — any drift here and
+    rebuilt artifacts would (correctly) fail the repair hash oracle.
+
+    Returns ``(pipeline, splits)``.
+    """
+    from repro.core.pipeline import CrossModalPipeline
+    from repro.datagen.tasks import classification_task, generate_task_corpora
+    from repro.resources.service_sets import build_resource_suite
+
+    task_config = classification_task(task)
+    world, task_rt, splits = generate_task_corpora(task_config, scale=scale, seed=seed)
+    catalog = build_resource_suite(world, task_rt, n_history=10_000, seed=seed)
+    pipeline = CrossModalPipeline(
+        world, task_rt, catalog, config or PipelineConfig(seed=seed)
+    )
+    return pipeline, splits
 
 #: the paper's Table 2 (relative AUPRC; cross-over in hand-labels)
 PAPER_TABLE2 = {
@@ -181,6 +211,8 @@ class EndToEndRun:
     seed: int
     #: stages replayed from a run checkpoint (empty without --run-dir)
     resumed_stages: list[str] = field(default_factory=list)
+    #: stages whose damaged artifacts were rebuilt in place (--auto-repair)
+    repaired_stages: list[str] = field(default_factory=list)
 
     def render(self) -> str:
         lines = [
@@ -200,6 +232,10 @@ class EndToEndRun:
             lines.append(
                 "  resumed from checkpoint: " + ", ".join(self.resumed_stages)
             )
+        if self.repaired_stages:
+            lines.append(
+                "  auto-repaired from lineage: " + ", ".join(self.repaired_stages)
+            )
         return "\n".join(lines)
 
 
@@ -211,6 +247,7 @@ def run_end_to_end(
     resume: bool = False,
     executor: "ExecutorConfig | None" = None,
     graph_backend: str | None = None,
+    auto_repair: bool = False,
 ) -> EndToEndRun:
     """Run the full pipeline (featurize -> curate -> train -> evaluate)
     once on one task.
@@ -236,15 +273,19 @@ def run_end_to_end(
     changes results, so it IS part of the curate-stage fingerprint: a
     checkpointed run never silently reuses a graph built by a different
     backend.
+
+    ``auto_repair=True`` (CLI: ``--auto-repair``) rebuilds a damaged
+    stage artifact in place during replay — recompute, verify against
+    the recorded content hash, restore — instead of aborting on the
+    first :class:`IntegrityError`.  Off by default: an unexpected
+    integrity failure should stay loud unless self-healing was asked
+    for.
     """
     import os
     from pathlib import Path
 
     from repro.core.atomicio import atomic_write_json
     from repro.core.config import CurationConfig, PipelineConfig
-    from repro.core.pipeline import CrossModalPipeline
-    from repro.datagen.tasks import classification_task, generate_task_corpora
-    from repro.resources.service_sets import build_resource_suite
     from repro.runs import RunCheckpointer
 
     checkpoint = None
@@ -258,18 +299,16 @@ def run_end_to_end(
                 "seed": seed,
             },
             resume=resume,
+            auto_repair=auto_repair,
         )
 
-    task_config = classification_task(task)
-    world, task_rt, splits = generate_task_corpora(task_config, scale=scale, seed=seed)
-    catalog = build_resource_suite(world, task_rt, n_history=10_000, seed=seed)
     config_kwargs: dict = {"seed": seed}
     if executor is not None:
         config_kwargs["executor"] = executor
     if graph_backend is not None:
         config_kwargs["curation"] = CurationConfig(graph_backend=graph_backend)
     config = PipelineConfig(**config_kwargs)
-    pipeline = CrossModalPipeline(world, task_rt, catalog, config)
+    pipeline, splits = build_pipeline_for_run(task, scale, seed, config)
     result = pipeline.run(splits, checkpoint=checkpoint)
     run = EndToEndRun(
         task=task,
@@ -280,6 +319,9 @@ def run_end_to_end(
         scale=scale,
         seed=seed,
         resumed_stages=list(result.resumed_stages),
+        repaired_stages=(
+            list(checkpoint.repaired_stages) if checkpoint is not None else []
+        ),
     )
     if run_dir is not None:
         atomic_write_json(
@@ -292,6 +334,7 @@ def run_end_to_end(
                 "n_lfs": run.n_lfs,
                 "coverage": run.coverage,
                 "resumed_stages": run.resumed_stages,
+                "repaired_stages": run.repaired_stages,
             },
             indent=2,
         )
@@ -322,6 +365,7 @@ def run_end_to_end(
             n_lfs=run.n_lfs,
             coverage=round(run.coverage, 4),
             resumed_stages=run.resumed_stages,
+            repaired_stages=run.repaired_stages,
             retries=sum(r.total_retries for r in reports),
             fallbacks=sum(r.n_fallbacks for r in reports),
             shed_items=0,

@@ -103,7 +103,12 @@ def apriori(
     level = _frequent_singletons(transactions, min_count)
     order = 1
     while level and order <= max_order:
-        for itemset, count in level.items():
+        # insertion order of `level` leaks set/dict iteration order (and
+        # with it PYTHONHASHSEED); emit each level canonically sorted so
+        # downstream consumers see a process-independent ordering
+        for itemset, count in sorted(
+            level.items(), key=lambda kv: tuple(sorted(map(repr, kv[0])))
+        ):
             result[itemset] = count / n
         if order == max_order:
             break

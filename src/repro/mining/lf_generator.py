@@ -241,7 +241,11 @@ class MinedLFGenerator:
         report.rejected["positive_precision"] = rejected_precision
         report.rejected["positive_recall"] = rejected_recall
 
-        scored.sort(key=lambda entry: (-entry[0], -entry[1]))
+        # the itemset tiebreaker keeps tied candidates in a canonical
+        # order, so the truncation below is process-independent
+        scored.sort(
+            key=lambda entry: (-entry[0], -entry[1], tuple(sorted(entry[2])))
+        )
         scored = self._dedupe(scored)[: self.max_lfs_per_polarity]
         lfs = []
         for precision, recall, itemset in scored:
@@ -279,7 +283,7 @@ class MinedLFGenerator:
             if purity >= self.min_negative_purity:
                 scored.append((total, purity, feature, token))
         report.n_candidates_considered += len(value_counts)
-        scored.sort(key=lambda entry: (-entry[0], -entry[1]))
+        scored.sort(key=lambda entry: (-entry[0], -entry[1], entry[2], entry[3]))
         lfs = []
         for total, purity, feature, token in scored[: self.max_lfs_per_polarity]:
             name = f"mined_neg[{feature}={token}]"

@@ -31,9 +31,10 @@ import repro.obs as obs
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.scheduler.dedup import StageDeduper
 from repro.core.atomicio import atomic_write_json
-from repro.core.exceptions import CheckpointError, IntegrityError
+from repro.core.exceptions import ArtifactMissingError, CheckpointError, IntegrityError
 from repro.runs.crash import crash_boundary
 from repro.runs.manifest import RunManifest, StageRecord, stage_fingerprint
+from repro.runs.repair import verify_and_restore
 from repro.runs.store import ArtifactRef, RunStore
 
 __all__ = ["StageOutcome", "RunCheckpointer", "PartitionCheckpointer"]
@@ -71,6 +72,7 @@ class RunCheckpointer:
         resume: bool = False,
         store: RunStore | None = None,
         deduper: "StageDeduper | None" = None,
+        auto_repair: bool = False,
     ) -> None:
         run_dir = Path(run_dir)
         context = dict(context or {})
@@ -95,10 +97,51 @@ class RunCheckpointer:
         # content hash; per-run manifests still live in run_dir
         self.store = store if store is not None else RunStore(run_dir)
         self.deduper = deduper
+        # opt-in: damaged artifacts hit during replay/dedup decoding are
+        # rebuilt in place (the stage's own compute/encode closures are
+        # the replay, the recorded hash the acceptance oracle).  Off by
+        # default so integrity failures stay loud unless asked for.
+        self.auto_repair = auto_repair
         #: stage names replayed from artifacts (in stage order)
         self.reused_stages: list[str] = []
         #: stage names satisfied by another run's in-flight computation
         self.deduped_stages: list[str] = []
+        #: stage names whose artifacts were rebuilt in place (auto-repair)
+        self.repaired_stages: list[str] = []
+
+    def _decode_refs(self, artifacts: dict[str, ArtifactRef]) -> dict[str, Any]:
+        return {key: self.store.get_json(ref) for key, ref in artifacts.items()}
+
+    def _stage_payloads(
+        self,
+        name: str,
+        artifacts: dict[str, ArtifactRef],
+        compute: Callable[[], Any],
+        encode: Callable[[Any], "Encoded"],
+    ) -> dict[str, Any]:
+        """Load a stage's persisted payloads, auto-repairing on damage.
+
+        A fingerprint match got us here, so ``compute`` is (by the
+        checkpoint contract) a deterministic replay of the recorded
+        stage; :func:`verify_and_restore` enforces that with the
+        recorded content hashes before anything is written.  The
+        payloads are then re-read from the store so the caller decodes
+        the exact JSON round-trip it would have seen without damage.
+        """
+        try:
+            return self._decode_refs(artifacts)
+        except (ArtifactMissingError, IntegrityError):
+            if not self.auto_repair:
+                raise
+            with obs.span("runs.stage.repair", stage=name) as sp:
+                value = compute()
+                actions = verify_and_restore(self.store, name, artifacts, encode(value))
+                sp.add_counter(
+                    "artifacts_repaired", sum(1 for a in actions if a.restored)
+                )
+            obs.add_counter("runs.stages_repaired")
+            self.repaired_stages.append(name)
+            return self._decode_refs(artifacts)
 
     def stage(
         self,
@@ -122,10 +165,7 @@ class RunCheckpointer:
             with obs.span(
                 "runs.stage.skip", stage=name, fingerprint=fingerprint[:12]
             ) as sp:
-                payloads = {
-                    key: self.store.get_json(ref)
-                    for key, ref in record.artifacts.items()
-                }
+                payloads = self._stage_payloads(name, record.artifacts, compute, encode)
                 value = decode(payloads)
                 sp.add_counter("artifacts_reused", len(payloads))
                 sp.add_counter(
@@ -153,10 +193,7 @@ class RunCheckpointer:
             outcome = self.deduper.run(fingerprint, _compute_and_store)
             if outcome.hit:
                 with obs.span("runs.stage.dedup", stage=name) as sp:
-                    payloads = {
-                        key: self.store.get_json(ref)
-                        for key, ref in outcome.refs.items()
-                    }
+                    payloads = self._stage_payloads(name, outcome.refs, compute, encode)
                     value = decode(payloads)
                     sp.add_counter("artifacts_reused", len(payloads))
                 obs.add_counter("runs.stages_deduped")
@@ -271,9 +308,14 @@ class PartitionCheckpointer:
             payload = pickle.loads(data)
         except Exception as exc:  # noqa: BLE001 - any unpickle failure is corruption
             quarantined = self.store.quarantine(self.store._path_for(ref.hash, ref.kind))
+            note = (
+                f"quarantined at {quarantined}"
+                if quarantined is not None
+                else "already quarantined by a concurrent reader"
+            )
             raise IntegrityError(
                 f"partition {index} checkpoint could not be unpickled ({exc}); "
-                f"quarantined at {quarantined}",
+                f"{note}",
                 quarantined=quarantined,
             ) from exc
         obs.add_counter("runs.partitions_skipped")

@@ -1,0 +1,208 @@
+"""Seeded filesystem fault injection for the artifact store.
+
+Storage fails in shapes that unit tests rarely exercise: the write
+syscall errors (EIO), the disk fills (ENOSPC), ``fsync`` fails after a
+successful write, bits rot silently *after* the write succeeded, or a
+crash tears the directory entry so the payload is durable but its name
+never appears.  :class:`FaultyFS` implements the
+:class:`~repro.core.atomicio.FaultLayer` protocol and injects all five,
+driven by a seeded RNG so every chaos run is reproducible.
+
+Install it with :func:`inject_faults` (a context manager that restores
+the previous layer on exit)::
+
+    config = FaultFSConfig(bitflip_rate=0.2, seed=7, path_substring="artifacts")
+    with inject_faults(config) as fs:
+        run_pipeline(...)
+    print(fs.events)  # every injected fault, in order
+
+Fault draws happen in a fixed order per write (eio → enospc → bitflip →
+torn, plus a separate fsync draw), serialized under a lock, so a given
+``(seed, write sequence)`` always injects the same faults — two
+identical runs see identical damage.  ``path_substring`` scopes
+injection (e.g. only ``…/artifacts/`` files) so manifests and result
+files stay out of the blast radius when an experiment wants them to.
+"""
+
+from __future__ import annotations
+
+import errno
+import random
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Iterator
+
+import repro.obs as obs
+from repro.core import atomicio
+from repro.core.exceptions import ConfigurationError
+
+__all__ = [
+    "FAULT_TYPES",
+    "FaultFSConfig",
+    "FaultEvent",
+    "InjectedFaultError",
+    "FaultyFS",
+    "inject_faults",
+]
+
+#: the injectable fault taxonomy, in draw order (fsync drawn separately)
+FAULT_TYPES = ("eio", "enospc", "fsync", "bitflip", "torn")
+
+_RATE_FIELD = {
+    "eio": "eio_rate",
+    "enospc": "enospc_rate",
+    "fsync": "fsync_fail_rate",
+    "bitflip": "bitflip_rate",
+    "torn": "torn_rate",
+}
+
+
+class InjectedFaultError(OSError):
+    """An injected storage fault.
+
+    Subclasses :class:`OSError` so it flows through the same error
+    handling as a real kernel failure, but stays distinguishable in
+    tests and chaos verdicts.
+    """
+
+    def __init__(self, fault: str, path: Path | str, err: int) -> None:
+        super().__init__(err, f"injected {fault} fault", str(path))
+        self.fault = fault
+
+
+@dataclass(frozen=True)
+class FaultFSConfig:
+    """Per-fault injection probabilities plus the RNG seed.
+
+    All rates are independent per-write probabilities in ``[0, 1]``.
+    ``path_substring`` limits injection to paths containing it (empty
+    string = every atomic write in the process).
+    """
+
+    eio_rate: float = 0.0
+    enospc_rate: float = 0.0
+    fsync_fail_rate: float = 0.0
+    bitflip_rate: float = 0.0
+    torn_rate: float = 0.0
+    seed: int = 0
+    path_substring: str = ""
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if not f.name.endswith("_rate"):
+                continue
+            rate = getattr(self, f.name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"{f.name} must be a probability in [0, 1], got {rate!r}"
+                )
+
+    @classmethod
+    def single(
+        cls,
+        fault: str,
+        rate: float,
+        seed: int = 0,
+        path_substring: str = "",
+    ) -> "FaultFSConfig":
+        """A config injecting only ``fault`` at ``rate``."""
+        if fault not in FAULT_TYPES:
+            raise ConfigurationError(
+                f"unknown fault type {fault!r}; choose from {FAULT_TYPES}"
+            )
+        return cls(
+            **{_RATE_FIELD[fault]: rate},
+            seed=seed,
+            path_substring=path_substring,
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault: what fired, against which destination path."""
+
+    fault: str
+    path: str
+
+
+class FaultyFS:
+    """Stateful :class:`~repro.core.atomicio.FaultLayer` implementation.
+
+    Thread-safe: RNG draws and the event log serialize under a lock, so
+    single-writer runs are bit-reproducible for a given seed and
+    multi-writer runs never corrupt the RNG state.
+    """
+
+    def __init__(self, config: FaultFSConfig) -> None:
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._lock = threading.Lock()
+        #: every injected fault, in injection order
+        self.events: list[FaultEvent] = []
+
+    def _eligible(self, path: Path) -> bool:
+        return self.config.path_substring in str(path)
+
+    def _record(self, fault: str, path: Path) -> None:
+        self.events.append(FaultEvent(fault=fault, path=str(path)))
+        obs.add_counter(f"faultfs.{fault}")
+
+    # ------------------------------------------------------------------
+    # FaultLayer protocol
+    # ------------------------------------------------------------------
+    def on_write(self, path: Path, data: bytes) -> tuple[bytes, bool]:
+        if not self._eligible(path):
+            return data, True
+        cfg = self.config
+        with self._lock:
+            if self._rng.random() < cfg.eio_rate:
+                self._record("eio", path)
+                raise InjectedFaultError("eio", path, errno.EIO)
+            if self._rng.random() < cfg.enospc_rate:
+                self._record("enospc", path)
+                raise InjectedFaultError("enospc", path, errno.ENOSPC)
+            rename = True
+            if self._rng.random() < cfg.bitflip_rate:
+                self._record("bitflip", path)
+                data = self._flip_bit(data)
+            if self._rng.random() < cfg.torn_rate:
+                # torn directory entry: payload durable, name lost — the
+                # atomic writer skips the rename so no file appears
+                self._record("torn", path)
+                rename = False
+            return data, rename
+
+    def on_fsync(self, path: Path) -> None:
+        if not self._eligible(path):
+            return
+        with self._lock:
+            if self._rng.random() < self.config.fsync_fail_rate:
+                self._record("fsync", path)
+                raise InjectedFaultError("fsync", path, errno.EIO)
+
+    def _flip_bit(self, data: bytes) -> bytes:
+        """Silent post-write corruption: one random bit flipped."""
+        if not data:
+            return b"\x01"
+        out = bytearray(data)
+        index = self._rng.randrange(len(out))
+        out[index] ^= 1 << self._rng.randrange(8)
+        return bytes(out)
+
+
+@contextmanager
+def inject_faults(config: FaultFSConfig | FaultyFS) -> Iterator[FaultyFS]:
+    """Install a fault layer process-wide for the duration of the block.
+
+    Accepts either a config (a fresh :class:`FaultyFS` is built) or an
+    existing layer (to share one RNG/event log across blocks).  Restores
+    whatever layer was previously installed on exit.
+    """
+    layer = config if isinstance(config, FaultyFS) else FaultyFS(config)
+    previous = atomicio.set_fault_layer(layer)
+    try:
+        yield layer
+    finally:
+        atomicio.set_fault_layer(previous)

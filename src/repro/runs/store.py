@@ -6,7 +6,11 @@ hash in the artifact's :class:`ArtifactRef` is the integrity contract —
 :meth:`RunStore.get_bytes` re-hashes what it reads and, on mismatch,
 moves the file into ``quarantine/`` and raises
 :class:`~repro.core.exceptions.IntegrityError` instead of returning
-corrupt data or silently recomputing.
+corrupt data or silently recomputing.  A missing file raises
+:class:`~repro.core.exceptions.ArtifactMissingError` — like corruption,
+that is *repairable* damage: the content hash still pins the exact
+bytes, so the producing stage can be replayed and verified
+(see :mod:`repro.runs.repair` and ``scrub --repair``).
 
 JSON artifacts travel inside a small envelope ``{format_version, kind,
 data}`` so version skew and kind confusion are detected before any
@@ -17,17 +21,43 @@ skip the envelope; their integrity rests on the content hash alone.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 
 import repro.obs as obs
 from repro.core.atomicio import atomic_write_bytes, sha256_hex
-from repro.core.exceptions import CheckpointError, IntegrityError
+from repro.core.exceptions import ArtifactMissingError, CheckpointError, IntegrityError
 
-__all__ = ["ArtifactRef", "RunStore", "ARTIFACT_FORMAT_VERSION"]
+__all__ = [
+    "ArtifactRef",
+    "RunStore",
+    "ARTIFACT_FORMAT_VERSION",
+    "encode_envelope",
+]
 
 #: bump when the artifact envelope layout changes incompatibly
 ARTIFACT_FORMAT_VERSION = 1
+
+
+def encode_envelope(kind: str, payload: object) -> bytes:
+    """The exact bytes :meth:`RunStore.put_json` persists for a payload.
+
+    Factored out so lineage-driven repair can rebuild an artifact and
+    compare its hash against the original reference byte-for-byte.
+    """
+    envelope = {
+        "format_version": ARTIFACT_FORMAT_VERSION,
+        "kind": kind,
+        "data": payload,
+    }
+    return json.dumps(envelope, separators=(",", ":")).encode("utf-8")
+
+
+def _quarantine_note(quarantined: Path | None) -> str:
+    if quarantined is None:
+        return "the corrupt file was already quarantined by a concurrent reader"
+    return f"the corrupt file was quarantined at {quarantined}"
 
 
 @dataclass(frozen=True)
@@ -76,27 +106,66 @@ class RunStore:
         return self.artifact_dir / f"{digest}{suffix}"
 
     def put_bytes(self, kind: str, data: bytes) -> ArtifactRef:
-        """Store raw bytes; returns the content-addressed reference."""
+        """Store raw bytes; returns the content-addressed reference.
+
+        A pre-existing file under the same content-hash name is *not*
+        trusted by name alone: its bytes are re-verified and atomically
+        rewritten on mismatch (self-heal on write), so corruption that
+        slipped onto disk is fixed the next time the content passes
+        through instead of only failing at read time.  Write failures
+        surface as typed :class:`CheckpointError`\\ s.
+        """
         digest = sha256_hex(data)
         path = self._path_for(digest, kind)
-        if not path.exists():
+        if path.exists():
+            if self._on_disk_matches(path, digest):
+                return ArtifactRef(hash=digest, kind=kind, size=len(data))
+            obs.add_counter("runs.artifacts_healed_on_write")
+        try:
             with obs.span("runs.artifact.save", kind=kind, bytes=len(data)):
                 atomic_write_bytes(path, data)
-            obs.add_counter("runs.artifacts_saved")
-            obs.add_counter("runs.artifact_bytes_saved", len(data))
+        except OSError as exc:
+            raise CheckpointError(
+                f"artifact write failed for {digest[:12]}… ({kind}): {exc}"
+            ) from exc
+        obs.add_counter("runs.artifacts_saved")
+        obs.add_counter("runs.artifact_bytes_saved", len(data))
         return ArtifactRef(hash=digest, kind=kind, size=len(data))
+
+    @staticmethod
+    def _on_disk_matches(path: Path, digest: str) -> bool:
+        """Whether ``path`` currently holds bytes hashing to ``digest``."""
+        try:
+            return sha256_hex(path.read_bytes()) == digest
+        except OSError:
+            return False
+
+    def check(self, ref: ArtifactRef) -> str:
+        """Audit one artifact without side effects.
+
+        Returns ``"healthy"``, ``"corrupt"`` (present but bytes do not
+        hash to the reference, or unreadable), or ``"missing"``.
+        """
+        path = self._path_for(ref.hash, ref.kind)
+        if not path.exists():
+            return "missing"
+        return "healthy" if self._on_disk_matches(path, ref.hash) else "corrupt"
 
     def get_bytes(self, ref: ArtifactRef) -> bytes:
         """Read and verify an artifact's bytes.
 
         Hash mismatches quarantine the file and raise
         :class:`IntegrityError`; a missing file raises
-        :class:`CheckpointError`.
+        :class:`ArtifactMissingError`.  Both are repairable via the
+        lineage replay path (``scrub --repair``).
         """
         path = self._path_for(ref.hash, ref.kind)
         if not path.exists():
-            raise CheckpointError(
-                f"artifact {ref.hash[:12]}… ({ref.kind}) is missing from {self.artifact_dir}"
+            raise ArtifactMissingError(
+                f"artifact {ref.hash[:12]}… ({ref.kind}) is missing from "
+                f"{self.artifact_dir}. Run `python -m repro.experiments scrub "
+                f"--run-dir <run> --repair` to rebuild it from its lineage.",
+                ref=ref,
             )
         with obs.span("runs.artifact.load", kind=ref.kind):
             data = path.read_bytes()
@@ -105,24 +174,39 @@ class RunStore:
                 quarantined = self.quarantine(path)
                 raise IntegrityError(
                     f"artifact {ref.hash[:12]}… ({ref.kind}) failed its integrity "
-                    f"check: stored bytes hash to {actual[:12]}…; the corrupt file "
-                    f"was quarantined at {quarantined}. Delete the stage entry from "
-                    f"the run manifest (or start a fresh --run-dir) to recompute it.",
+                    f"check: stored bytes hash to {actual[:12]}…; "
+                    f"{_quarantine_note(quarantined)}. Run `python -m "
+                    f"repro.experiments scrub --run-dir <run> --repair` to "
+                    f"rebuild it from its lineage (or start a fresh --run-dir).",
                     quarantined=quarantined,
                 )
         obs.add_counter("runs.artifacts_loaded")
         obs.add_counter("runs.artifact_bytes_loaded", len(data))
         return data
 
-    def quarantine(self, path: Path) -> Path:
-        """Move a corrupt file out of the store (never delete evidence)."""
+    def quarantine(self, path: Path) -> Path | None:
+        """Move a corrupt file out of the store (never delete evidence).
+
+        Idempotent under races: two readers detecting the same corrupt
+        artifact both call this, the loser finds the file already moved
+        and gets the ``None`` sentinel back instead of an uncaught
+        :class:`FileNotFoundError`.  Quarantine names are made unique
+        (pid + counter suffix) so repeated corruption of the same
+        artifact never overwrites earlier evidence.
+        """
         self.quarantine_dir.mkdir(parents=True, exist_ok=True)
         target = self.quarantine_dir / path.name
         n = 0
         while target.exists():
             n += 1
-            target = self.quarantine_dir / f"{path.name}.{n}"
-        path.rename(target)
+            target = self.quarantine_dir / f"{path.name}.{os.getpid()}.{n}"
+        try:
+            os.replace(path, target)
+        except FileNotFoundError:
+            # a concurrent reader already quarantined (or repair already
+            # rewrote) this path — nothing left to preserve
+            obs.add_counter("runs.quarantine_races")
+            return None
         obs.add_counter("runs.artifacts_quarantined")
         return target
 
@@ -131,13 +215,7 @@ class RunStore:
     # ------------------------------------------------------------------
     def put_json(self, kind: str, payload: object) -> ArtifactRef:
         """Store a JSON-serializable payload under an integrity envelope."""
-        envelope = {
-            "format_version": ARTIFACT_FORMAT_VERSION,
-            "kind": kind,
-            "data": payload,
-        }
-        data = json.dumps(envelope, separators=(",", ":")).encode("utf-8")
-        return self.put_bytes(kind, data)
+        return self.put_bytes(kind, encode_envelope(kind, payload))
 
     def get_json(self, ref: ArtifactRef) -> object:
         """Load a JSON artifact, validating envelope version and kind.
@@ -154,14 +232,14 @@ class RunStore:
             quarantined = self.quarantine(path)
             raise IntegrityError(
                 f"artifact {ref.hash[:12]}… ({ref.kind}) is not valid JSON "
-                f"({exc}); quarantined at {quarantined}",
+                f"({exc}); {_quarantine_note(quarantined)}",
                 quarantined=quarantined,
             ) from exc
         if not isinstance(envelope, dict) or "data" not in envelope:
             quarantined = self.quarantine(path)
             raise IntegrityError(
                 f"artifact {ref.hash[:12]}… ({ref.kind}) lacks the artifact "
-                f"envelope; quarantined at {quarantined}",
+                f"envelope; {_quarantine_note(quarantined)}",
                 quarantined=quarantined,
             )
         version = envelope.get("format_version")

@@ -9,7 +9,11 @@ content-hashed :class:`~repro.runs.store.RunStore`; concurrent and
 later arrivals wait for the flight and reuse its *artifact references*.
 A hit then decodes from the store exactly like a checkpoint replay —
 never a live Python object — so each tenant gets its own fresh copy and
-the hit path exercises the same integrity-checked read as a resume.
+the hit path exercises the same integrity-checked read as a resume
+(including auto-repair, when the hitting run's
+:class:`~repro.runs.checkpoint.RunCheckpointer` opted in: a damaged
+shared artifact is recomputed by the hitter and hash-verified against
+the flight's recorded refs before the hit decodes).
 
 This is safe precisely because the fingerprint is a content hash over
 everything that determines the output: a dedup hit returns bytes the

@@ -29,7 +29,8 @@ from repro.features.io import table_from_dict
 from repro.features.table import FeatureTable
 from repro.runs import codecs
 from repro.runs.manifest import RunManifest, StageRecord
-from repro.runs.store import RunStore
+from repro.runs.repair import RepairEngine
+from repro.runs.store import ArtifactRef, RunStore
 
 __all__ = ["ServingArtifacts"]
 
@@ -76,16 +77,30 @@ class ServingArtifacts:
     context: dict = field(default_factory=dict)
 
     @classmethod
-    def load(cls, run_dir: str | Path) -> "ServingArtifacts":
-        """Load serving artifacts from a completed checkpointed run."""
+    def load(
+        cls, run_dir: str | Path, repair: RepairEngine | None = None
+    ) -> "ServingArtifacts":
+        """Load serving artifacts from a completed checkpointed run.
+
+        With a :class:`RepairEngine`, a corrupt or missing artifact is
+        rebuilt from lineage (hash-verified against the manifest) and
+        the load retried once, so a deploy survives store damage instead
+        of dying on the first read.  Without one, integrity failures
+        propagate — serving never starts from bytes it cannot vouch for.
+        """
         manifest = RunManifest.load(run_dir)
-        store = RunStore(run_dir)
+        store = repair.store if repair is not None else RunStore(run_dir)
+
+        def read_json(ref: ArtifactRef) -> object:
+            if repair is not None:
+                return repair.read_json(ref)
+            return store.get_json(ref)
 
         featurize = _complete_stage(manifest, "featurize")
         train = _complete_stage(manifest, "train")
 
         tables = {
-            name: table_from_dict(store.get_json(ref))
+            name: table_from_dict(read_json(ref))
             for name, ref in featurize.artifacts.items()
         }
         model_ref = train.artifacts.get("model")
@@ -93,7 +108,7 @@ class ServingArtifacts:
             raise CheckpointError(
                 f"train stage of run at {run_dir} records no 'model' artifact"
             )
-        model = codecs.decode_model(store.get_json(model_ref))
+        model = codecs.decode_model(read_json(model_ref))
 
         return cls(
             model=model,

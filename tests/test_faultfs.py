@@ -1,0 +1,128 @@
+"""Tests for repro.runs.faultfs — seeded filesystem fault injection."""
+
+import errno
+
+import pytest
+
+from repro.core import atomicio
+from repro.core.atomicio import atomic_write_bytes
+from repro.core.exceptions import ConfigurationError
+from repro.runs import FaultFSConfig, FaultyFS, InjectedFaultError, inject_faults
+
+
+def test_rates_must_be_probabilities():
+    with pytest.raises(ConfigurationError):
+        FaultFSConfig(eio_rate=1.5)
+    with pytest.raises(ConfigurationError):
+        FaultFSConfig(torn_rate=-0.1)
+
+
+def test_single_rejects_unknown_fault():
+    with pytest.raises(ConfigurationError) as exc:
+        FaultFSConfig.single("lightning", 0.5)
+    assert "lightning" in str(exc.value)
+
+
+def test_eio_raises_typed_oserror_and_leaves_no_debris(tmp_path):
+    with inject_faults(FaultFSConfig.single("eio", 1.0)) as fs:
+        with pytest.raises(InjectedFaultError) as exc:
+            atomic_write_bytes(tmp_path / "a.bin", b"payload")
+    assert exc.value.errno == errno.EIO
+    assert exc.value.fault == "eio"
+    assert isinstance(exc.value, OSError)
+    assert list(tmp_path.iterdir()) == []
+    assert [e.fault for e in fs.events] == ["eio"]
+
+
+def test_enospc_raises_with_matching_errno(tmp_path):
+    with inject_faults(FaultFSConfig.single("enospc", 1.0)):
+        with pytest.raises(InjectedFaultError) as exc:
+            atomic_write_bytes(tmp_path / "a.bin", b"payload")
+    assert exc.value.errno == errno.ENOSPC
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_fsync_failure_raises_and_cleans_temp(tmp_path):
+    with inject_faults(FaultFSConfig.single("fsync", 1.0)):
+        with pytest.raises(InjectedFaultError) as exc:
+            atomic_write_bytes(tmp_path / "a.bin", b"payload")
+    assert exc.value.fault == "fsync"
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_bitflip_corrupts_exactly_one_bit(tmp_path):
+    data = b"payload-payload-payload"
+    with inject_faults(FaultFSConfig.single("bitflip", 1.0)):
+        atomic_write_bytes(tmp_path / "a.bin", data)
+    written = (tmp_path / "a.bin").read_bytes()
+    assert len(written) == len(data)
+    diff_bits = sum(bin(a ^ b).count("1") for a, b in zip(written, data))
+    assert diff_bits == 1
+
+
+def test_torn_write_leaves_no_visible_file_and_no_temp(tmp_path):
+    with inject_faults(FaultFSConfig.single("torn", 1.0)):
+        atomic_write_bytes(tmp_path / "a.bin", b"payload")
+    # the payload was written but the directory entry never appeared,
+    # and the writer must not leak its temp file either
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_path_substring_scopes_injection(tmp_path):
+    artifacts = tmp_path / "artifacts"
+    artifacts.mkdir()
+    with inject_faults(FaultFSConfig.single("eio", 1.0, path_substring="artifacts")):
+        atomic_write_bytes(tmp_path / "safe.bin", b"x")  # out of scope
+        with pytest.raises(InjectedFaultError):
+            atomic_write_bytes(artifacts / "hit.bin", b"x")
+    assert (tmp_path / "safe.bin").read_bytes() == b"x"
+
+
+def _run_sequence(root, config):
+    """A fixed write sequence; returns (fault seq, per-write outcome)."""
+    outcomes = []
+    with inject_faults(config) as fs:
+        for i in range(20):
+            path = root / f"f{i:02d}.bin"
+            try:
+                atomic_write_bytes(path, bytes([i]) * 64)
+            except InjectedFaultError as exc:
+                outcomes.append(("error", exc.fault))
+                continue
+            outcomes.append(
+                ("file", path.read_bytes()) if path.exists() else ("torn", None)
+            )
+    return [e.fault for e in fs.events], outcomes
+
+
+def test_same_seed_injects_identical_faults(tmp_path):
+    config = FaultFSConfig(
+        eio_rate=0.2, fsync_fail_rate=0.1, bitflip_rate=0.3, torn_rate=0.2, seed=123
+    )
+    (tmp_path / "a").mkdir()
+    (tmp_path / "b").mkdir()
+    faults_a, outcomes_a = _run_sequence(tmp_path / "a", config)
+    faults_b, outcomes_b = _run_sequence(tmp_path / "b", config)
+    assert faults_a == faults_b
+    assert outcomes_a == outcomes_b
+    assert faults_a  # rates this high must fire on 20 writes
+
+
+def test_different_seed_differs(tmp_path):
+    (tmp_path / "a").mkdir()
+    (tmp_path / "b").mkdir()
+    base = dict(eio_rate=0.2, bitflip_rate=0.3, torn_rate=0.2)
+    faults_a, _ = _run_sequence(tmp_path / "a", FaultFSConfig(**base, seed=1))
+    faults_b, _ = _run_sequence(tmp_path / "b", FaultFSConfig(**base, seed=2))
+    assert faults_a != faults_b
+
+
+def test_inject_faults_restores_previous_layer(tmp_path):
+    assert atomicio.fault_layer() is None
+    layer = FaultyFS(FaultFSConfig.single("torn", 1.0))
+    with inject_faults(layer) as outer:
+        assert atomicio.fault_layer() is outer
+        with inject_faults(FaultFSConfig.single("eio", 1.0)) as inner:
+            assert atomicio.fault_layer() is inner
+        assert atomicio.fault_layer() is layer
+    assert atomicio.fault_layer() is None

@@ -76,6 +76,87 @@ def test_store_detects_corruption_and_quarantines(tmp_path):
         store.get_bytes(ref)
 
 
+def test_store_missing_artifact_is_typed_and_repairable(tmp_path):
+    from repro.core.exceptions import ArtifactMissingError
+
+    store = RunStore(tmp_path)
+    ref = store.put_bytes("blob.pkl", b"payload")
+    store._path_for(ref.hash, ref.kind).unlink()
+    with pytest.raises(ArtifactMissingError) as exc:
+        store.get_bytes(ref)
+    assert "scrub" in str(exc.value) and "--repair" in str(exc.value)
+    assert exc.value.ref == ref
+    assert store.check(ref) == "missing"
+
+
+def test_store_put_bytes_self_heals_corrupt_preexisting_file(tmp_path):
+    """A write that finds a same-named file with wrong bytes must not
+    trust the name: verify and atomically rewrite (self-heal on write)."""
+    store = RunStore(tmp_path)
+    ref = store.put_bytes("blob.pkl", b"payload")
+    path = store._path_for(ref.hash, ref.kind)
+    path.write_bytes(b"rotted")
+
+    again = store.put_bytes("blob.pkl", b"payload")
+    assert again == ref
+    assert path.read_bytes() == b"payload"
+    assert store.get_bytes(ref) == b"payload"
+
+
+def test_store_put_bytes_wraps_oserror_as_checkpoint_error(tmp_path):
+    from repro.runs import FaultFSConfig, inject_faults
+
+    store = RunStore(tmp_path)
+    with inject_faults(FaultFSConfig.single("eio", 1.0)):
+        with pytest.raises(CheckpointError) as exc:
+            store.put_bytes("blob.pkl", b"payload")
+    assert "artifact write failed" in str(exc.value)
+
+
+def test_store_quarantine_is_idempotent_under_concurrency(tmp_path):
+    """N threads racing to quarantine the same artifact: exactly one
+    wins (returns the destination), the rest observe the race (None) —
+    no FileNotFoundError, no double-move."""
+    store = RunStore(tmp_path)
+    ref = store.put_bytes("blob.pkl", b"payload")
+    path = store._path_for(ref.hash, ref.kind)
+    n_threads = 8
+    barrier = threading.Barrier(n_threads)
+    results = [None] * n_threads
+    errors = []
+
+    def racer(i):
+        try:
+            barrier.wait()
+            results[i] = store.quarantine(path)
+        except BaseException as exc:  # noqa: BLE001 - collected
+            errors.append(exc)
+
+    threads = [threading.Thread(target=racer, args=(i,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    winners = [r for r in results if r is not None]
+    assert len(winners) == 1
+    assert not path.exists()
+    assert [p.name for p in store.quarantine_dir.iterdir()] == [winners[0].name]
+
+
+def test_store_quarantine_does_not_clobber_existing_quarantined_file(tmp_path):
+    store = RunStore(tmp_path)
+    ref = store.put_bytes("blob.pkl", b"one")
+    path = store._path_for(ref.hash, ref.kind)
+    store.quarantine_dir.mkdir(parents=True, exist_ok=True)
+    (store.quarantine_dir / path.name).write_bytes(b"earlier incident")
+
+    moved = store.quarantine(path)
+    assert moved is not None and moved.name != path.name
+    assert (store.quarantine_dir / path.name).read_bytes() == b"earlier incident"
+    assert moved.read_bytes() == b"one"
+
+
 def test_store_json_envelope_roundtrip(tmp_path):
     store = RunStore(tmp_path)
     payload = {"metrics": {"auprc": 0.123456789012345}, "xs": [1, 2, 3]}

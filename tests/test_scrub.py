@@ -1,0 +1,119 @@
+"""Tests for repro.runs.scrub — store auditing and repair round-trips."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.runs import RepairEngine, RunCheckpointer, scrub_run
+
+
+def _encode(v):
+    return {"out": ("evaluation", {"v": v})}
+
+
+def _stage_args(value):
+    return {
+        "compute": lambda: value,
+        "encode": _encode,
+        "decode": lambda payloads: payloads["out"]["v"],
+    }
+
+
+def _build_run(run_dir):
+    ck = RunCheckpointer(run_dir, context={"seed": 7})
+    out1 = ck.stage("s1", config={"k": 1}, **_stage_args(41))
+    out2 = ck.stage(
+        "s2", config={"k": 2, "inputs": out1.artifact_hashes}, **_stage_args(42)
+    )
+    return ck, out1, out2
+
+
+def _engine(ck):
+    values = {"s1": 41, "s2": 42}
+    return RepairEngine(
+        ck.manifest, ck.store, lambda record: _encode(values[record.name])
+    )
+
+
+def _path_of(ck, outcome):
+    ref = outcome.record.artifacts["out"]
+    return ck.store._path_for(ref.hash, ref.kind)
+
+
+def test_scrub_healthy_store(tmp_path):
+    _build_run(tmp_path)
+    report = scrub_run(tmp_path)
+    assert report.healthy
+    assert [e.status for e in report.entries] == ["healthy", "healthy"]
+    assert report.counts == {"healthy": 2, "orphaned": 0}
+    assert report.verdict() == "scrub verdict: store healthy"
+
+
+def test_scrub_classifies_corrupt_missing_and_orphans(tmp_path):
+    ck, out1, out2 = _build_run(tmp_path)
+    _path_of(ck, out1).write_bytes(b"tampered")
+    _path_of(ck, out2).unlink()
+    stray = ck.store.artifact_dir / ("ff" * 32 + ".evaluation.json")
+    stray.write_bytes(b"debris")
+
+    report = scrub_run(tmp_path)
+    assert not report.healthy
+    assert {e.stage: e.status for e in report.entries} == {
+        "s1": "corrupt",
+        "s2": "missing",
+    }
+    assert report.orphans == [stray.name]
+    assert "UNREPAIRED" in report.verdict()
+    # orphans are informational, never damage
+    assert report.unrepaired == 2
+
+
+def test_scrub_repair_requires_engine(tmp_path):
+    _build_run(tmp_path)
+    with pytest.raises(ConfigurationError) as exc:
+        scrub_run(tmp_path, repair=True)
+    assert "RepairEngine" in str(exc.value)
+
+
+def test_scrub_repair_round_trip_restores_original_hashes(tmp_path):
+    ck, out1, out2 = _build_run(tmp_path)
+    _path_of(ck, out1).write_bytes(b"tampered")
+    _path_of(ck, out2).unlink()
+
+    report = scrub_run(tmp_path, engine=_engine(ck), repair=True)
+    assert report.healthy
+    assert report.repaired == 2
+    assert {e.stage: (e.status, e.detail) for e in report.entries} == {
+        "s1": ("repaired", "was corrupt"),
+        "s2": ("repaired", "was missing"),
+    }
+    assert report.verdict() == (
+        "scrub verdict: repaired 2 artifact(s); store healthy"
+    )
+    # bytes are bit-identical: the recorded refs read back cleanly
+    assert ck.store.get_json(out1.record.artifacts["out"]) == {"v": 41}
+    assert ck.store.get_json(out2.record.artifacts["out"]) == {"v": 42}
+
+
+def test_scrub_repair_reports_unrepairable_damage(tmp_path):
+    ck, out1, _ = _build_run(tmp_path)
+    _path_of(ck, out1).unlink()
+    # a replay that is not bit-deterministic: the oracle must reject it
+    bad_engine = RepairEngine(ck.manifest, ck.store, lambda record: _encode(999))
+
+    report = scrub_run(tmp_path, engine=bad_engine, repair=True)
+    assert not report.healthy
+    entry = next(e for e in report.entries if e.stage == "s1")
+    assert entry.status == "unrepaired"
+    assert "refusing to substitute different bytes" in entry.detail
+    assert "UNREPAIRED" in report.verdict()
+
+
+def test_scrub_report_render_and_dict(tmp_path):
+    ck, out1, _ = _build_run(tmp_path)
+    _path_of(ck, out1).unlink()
+    report = scrub_run(tmp_path)
+    text = report.render()
+    assert "missing" in text and "scrub verdict" in text
+    doc = report.to_dict()
+    assert doc["healthy"] is False
+    assert doc["counts"]["missing"] == 1
