@@ -131,12 +131,22 @@ class PipelineConfig:
     #: application, graph build); the default serial/1-worker config
     #: defers to the legacy ``n_threads`` knob
     executor: ExecutorConfig = field(default_factory=ExecutorConfig)
+    #: rows per shard for the out-of-core featurize path
+    #: (:mod:`repro.shards`); ``None`` keeps tables fully in memory.
+    #: Requires a checkpointed run (shards live in its artifact store);
+    #: values are bit-identical either way.
+    shard_size: int | None = None
 
     def __post_init__(self) -> None:
         if not self.model_service_sets:
             raise ConfigurationError("model_service_sets must not be empty")
         if not self.lf_service_sets:
             raise ConfigurationError("lf_service_sets must not be empty")
+        if self.shard_size is not None and self.shard_size < 1:
+            raise ConfigurationError(
+                f"shard_size must be a positive row count or None, "
+                f"got {self.shard_size}"
+            )
 
     def effective_executor(self) -> ExecutorConfig:
         """The executor the pipeline actually runs with.

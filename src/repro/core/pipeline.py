@@ -89,6 +89,50 @@ def _decode_feature_tables(payloads: dict) -> dict[str, FeatureTable]:
     return {key: table_from_dict(data) for key, data in payloads.items()}
 
 
+def _encode_sharded_tables(tables: dict) -> dict:
+    """Checkpoint encoding of a sharded featurize stage.
+
+    Every shard artifact becomes a stage artifact — ``text`` carries the
+    manifest (whose hash chains over the shard hashes, so downstream
+    fingerprints stay Merkle-pinned), ``text/shard00003`` the rows part
+    and ``text/shard00003.dense`` the binary dense part of shard 3.
+    Listing the shards individually is what lets ``scrub --repair``
+    audit and heal exactly the damaged shard.  Re-reading the payloads
+    here is O(corpus) at the stage boundary; the streaming plane
+    (:mod:`repro.shards.stages`) never goes through this codec.
+    """
+    from repro.shards.table import DENSE_KIND, MANIFEST_KIND, ROWS_KIND
+
+    out: dict = {}
+    for key, sharded in tables.items():
+        out[key] = (MANIFEST_KIND, sharded.manifest)
+        for index in range(sharded.n_shards):
+            rows_ref, dense_ref = sharded.shard_refs(index)
+            out[f"{key}/shard{index:05d}"] = (
+                ROWS_KIND,
+                sharded.reader.read_json(rows_ref),
+            )
+            if dense_ref is not None:
+                out[f"{key}/shard{index:05d}.dense"] = (
+                    DENSE_KIND,
+                    sharded.reader.read_bytes(dense_ref),
+                )
+    return out
+
+
+def _decode_sharded_tables(payloads: dict, store: "RunStore") -> dict:
+    """Rebind manifest payloads to :class:`ShardedTable` handles (the
+    per-shard payloads ride along for repair; the handles re-read them
+    through the verifying store path on demand)."""
+    from repro.shards.table import ShardedTable
+
+    return {
+        key: ShardedTable(store, doc)
+        for key, doc in payloads.items()
+        if "/" not in key
+    }
+
+
 def _encode_curation_stage(curation: "CurationResult") -> dict:
     from repro.runs import codecs
 
@@ -229,6 +273,42 @@ class CrossModalPipeline:
             n_threads=self.config.n_threads,
             policy=self.resilience,
             executor=self.executor,
+        )
+
+    def featurize_sharded(
+        self,
+        corpus: Corpus,
+        store: "RunStore",
+        include_labels: bool = False,
+        progress: object | None = None,
+        tag: str = "table",
+    ):
+        """Out-of-core variant of :meth:`featurize` (``shard_size`` set).
+
+        Returns a :class:`~repro.shards.table.ShardedTable` handle over
+        content-hashed shard artifacts in ``store``.  Values are
+        bit-identical to :meth:`featurize` for every shard size — the
+        per-point RNG streams depend only on (seed, point, resource) —
+        but peak memory is O(shard) instead of O(corpus).
+        """
+        from repro.shards import featurize_corpus_sharded
+
+        if self.config.shard_size is None:
+            raise ConfigurationError(
+                "featurize_sharded requires config.shard_size to be set"
+            )
+        return featurize_corpus_sharded(
+            corpus,
+            list(self.catalog),
+            store,
+            self.config.shard_size,
+            seed=derive_seed(self.config.seed, "featurize"),
+            include_labels=include_labels,
+            n_threads=self.config.n_threads,
+            policy=self.resilience,
+            executor=self.executor,
+            progress=progress,
+            tag=tag,
         )
 
     # ------------------------------------------------------------------
@@ -619,6 +699,13 @@ class CrossModalPipeline:
         cfg = self.config
         timings: dict[str, float] = {}
         resumed: list[str] = []
+        sharded = checkpoint is not None and cfg.shard_size is not None
+        if cfg.shard_size is not None and self.resilience is not None:
+            raise ConfigurationError(
+                "shard_size cannot be combined with a resilience policy: "
+                "sharded featurize does not carry per-run degradation "
+                "reports — run resilience regimes unsharded"
+            )
 
         # ----- stage A: feature generation ----------------------------
         def compute_featurize() -> dict[str, FeatureTable]:
@@ -627,6 +714,30 @@ class CrossModalPipeline:
                 "image": self.featurize(splits.image_unlabeled, include_labels=False),
                 "test": self.featurize(splits.image_test, include_labels=True),
             }
+
+        def compute_featurize_sharded() -> dict:
+            from repro.shards import ShardProgress
+            from repro.shards.stages import _job_key
+
+            assert checkpoint is not None
+            out = {}
+            for key, corpus, labeled in (
+                ("text", splits.text_labeled, True),
+                ("image", splits.image_unlabeled, False),
+                ("test", splits.image_test, True),
+            ):
+                progress = ShardProgress(
+                    checkpoint.store.root / f"shards-featurize-{key}.json",
+                    job_key=_job_key({**feat_config, "split": key}),
+                )
+                out[key] = self.featurize_sharded(
+                    corpus,
+                    checkpoint.store,
+                    include_labels=labeled,
+                    progress=progress,
+                    tag=key,
+                )
+            return out
 
         feat_hashes: dict[str, str] = {}
         with obs.timed("featurize", task=self.task.name) as t:
@@ -643,15 +754,40 @@ class CrossModalPipeline:
                     # retry/deadline budgets) changes featurized values,
                     # so it invalidates the checkpoint like a seed does
                     feat_config["resilience"] = self.resilience_context
-                outcome = checkpoint.stage(
-                    "featurize",
-                    config=feat_config,
-                    compute=compute_featurize,
-                    encode=_encode_feature_tables,
-                    decode=_decode_feature_tables,
-                )
-                tables = outcome.value
-                feat_hashes = outcome.artifact_hashes
+                if sharded:
+                    # a sharded and an unsharded run lay artifacts out
+                    # incompatibly, so they must not replay each other
+                    feat_config["shard_size"] = cfg.shard_size
+                    outcome = checkpoint.stage(
+                        "featurize",
+                        config=feat_config,
+                        compute=compute_featurize_sharded,
+                        encode=_encode_sharded_tables,
+                        decode=lambda payloads: _decode_sharded_tables(
+                            payloads, checkpoint.store
+                        ),
+                    )
+                    tables = {
+                        key: handle.to_table()
+                        for key, handle in outcome.value.items()
+                    }
+                    # downstream fingerprints chain over the manifest
+                    # hashes only — each already pins its shard hashes
+                    feat_hashes = {
+                        key: digest
+                        for key, digest in outcome.artifact_hashes.items()
+                        if "/" not in key
+                    }
+                else:
+                    outcome = checkpoint.stage(
+                        "featurize",
+                        config=feat_config,
+                        compute=compute_featurize,
+                        encode=_encode_feature_tables,
+                        decode=_decode_feature_tables,
+                    )
+                    tables = outcome.value
+                    feat_hashes = outcome.artifact_hashes
                 if outcome.reused:
                     resumed.append("featurize")
         timings["featurize"] = t.duration
@@ -795,6 +931,41 @@ class CrossModalPipeline:
                     "regime; offline repair cannot reproduce injected service "
                     "faults — re-run the experiment in a fresh --run-dir instead"
                 )
+            shard_size = config.get("shard_size")
+            if shard_size is not None:
+                # rebuild the shards in a scratch store so a divergent
+                # replay leaves no orphans in the real one; the repair
+                # oracle verifies the encoded bytes before restoring
+                import tempfile
+
+                from repro.runs.store import RunStore as _ScratchStore
+                from repro.shards import featurize_corpus_sharded
+
+                seed = derive_seed(self.config.seed, "featurize")
+                with tempfile.TemporaryDirectory(
+                    prefix="repro-shard-replay-"
+                ) as scratch:
+                    scratch_store = _ScratchStore(scratch)
+                    return _encode_sharded_tables(
+                        {
+                            key: featurize_corpus_sharded(
+                                corpus,
+                                list(self.catalog),
+                                scratch_store,
+                                int(shard_size),
+                                seed=seed,
+                                include_labels=labeled,
+                                n_threads=self.config.n_threads,
+                                executor=self.executor,
+                                tag=key,
+                            )
+                            for key, corpus, labeled in (
+                                ("text", splits.text_labeled, True),
+                                ("image", splits.image_unlabeled, False),
+                                ("test", splits.image_test, True),
+                            )
+                        }
+                    )
             return _encode_feature_tables(
                 {
                     "text": self.featurize(splits.text_labeled, include_labels=True),
@@ -805,7 +976,7 @@ class CrossModalPipeline:
                 }
             )
 
-        def upstream(stage: str, key: str) -> object:
+        def upstream_ref(stage: str, key: str):
             upstream_record = manifest.stages.get(stage)
             if upstream_record is None:
                 raise RepairError(
@@ -818,12 +989,20 @@ class CrossModalPipeline:
                     f"replaying stage {name!r} needs artifact {key!r} of "
                     f"stage {stage!r}, which its record does not list"
                 )
-            return store.get_json(ref)
+            return ref
+
+        def upstream(stage: str, key: str) -> object:
+            return store.get_json(upstream_ref(stage, key))
 
         def feature_table(key: str) -> FeatureTable:
             from repro.features.io import table_from_dict
+            from repro.shards.table import MANIFEST_KIND, ShardedTable
 
-            return table_from_dict(upstream("featurize", key))
+            ref = upstream_ref("featurize", key)
+            doc = store.get_json(ref)
+            if ref.kind == MANIFEST_KIND:  # sharded run: materialize
+                return ShardedTable(store, doc).to_table()
+            return table_from_dict(doc)
 
         if name == "curate":
             return _encode_curation_stage(

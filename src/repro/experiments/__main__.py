@@ -15,6 +15,7 @@ Regenerate any of the paper's tables/figures from the shell:
     python -m repro.experiments crash
     python -m repro.experiments end_to_end
     python -m repro.experiments scaling
+    python -m repro.experiments shardscale
     python -m repro.experiments all
 
 Checkpointing (see DESIGN.md "Checkpointing & crash recovery"):
@@ -62,6 +63,17 @@ Graph backends (see DESIGN.md "Approximate graph construction"):
 
     python -m repro.experiments scaling --sizes 600 1200 2400
     python -m repro.experiments end_to_end --graph-backend lsh
+
+Out-of-core sharding (see DESIGN.md "Sharded data plane"):
+
+    --shard-size N     end_to_end: featurize out-of-core in N-row shards
+                       persisted as content-hashed artifacts (requires
+                       --run-dir); bit-identical to an unsharded run
+    --shard-sizes N [N ...]
+                       shardscale: shard sizes for the memory sweep
+
+    python -m repro.experiments end_to_end --run-dir runs/e2e --shard-size 256
+    python -m repro.experiments shardscale --sizes 400 1600 --shard-sizes 64
 
 Multi-tenant orchestration (see DESIGN.md "Multi-tenant run
 orchestration"):
@@ -146,7 +158,7 @@ from repro.runs import FAULT_TYPES
 _EXPERIMENTS = (
     "table1", "table2", "table3", "figure5", "figure6", "figure7",
     "fusion", "lf", "ablations", "chaos", "crash", "end_to_end",
-    "scaling", "multitenant", "serve", "storagechaos", "scrub",
+    "scaling", "shardscale", "multitenant", "serve", "storagechaos", "scrub",
 )
 
 
@@ -199,7 +211,8 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
                               run_dir=args.run_dir, resume=args.resume,
                               executor=executor,
                               graph_backend=args.graph_backend,
-                              auto_repair=args.auto_repair).render()
+                              auto_repair=args.auto_repair,
+                              shard_size=args.shard_size).render()
     if name == "storagechaos":
         task = (args.tasks or ["CT1"])[0]
         return run_storagechaos(
@@ -210,6 +223,13 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
         ).render()
     if name == "scrub":
         return run_scrub(args.run_dir, repair=args.repair).render()
+    if name == "shardscale":
+        from repro.experiments.shardscale import run_shardscale
+
+        return run_shardscale(
+            sizes=args.sizes, shard_sizes=args.shard_sizes, seed=seed,
+            out_dir=args.run_dir,
+        ).render()
     if name == "scaling":
         executor = None
         if args.backend is not None or args.workers is not None:
@@ -278,8 +298,11 @@ def _validate_args(
         parser.error(f"--workers must be >= 1, got {args.workers}")
     if args.requests < 1:
         parser.error(f"--requests must be >= 1, got {args.requests}")
+    if args.shard_size is not None and args.shard_size < 1:
+        parser.error(f"--shard-size must be >= 1, got {args.shard_size}")
     for flag, values, minimum in (
         ("--sizes", args.sizes, 1),
+        ("--shard-sizes", args.shard_sizes, 1),
         ("--tenants", args.tenants, 1),
         ("--rate-limits", args.rate_limits, 0),
         ("--clients", args.clients, 1),
@@ -349,7 +372,16 @@ def main(argv: list[str] | None = None) -> int:
                              "graph backends")
     parser.add_argument("--sizes", type=int, nargs="*", default=None,
                         help="scaling: corpus sizes to sweep "
-                             "(default 600 1200 2400 4800 9600)")
+                             "(default 600 1200 2400 4800 9600); "
+                             "shardscale: corpus sizes (default 400 1600)")
+    parser.add_argument("--shard-size", type=int, default=None,
+                        help="end_to_end: rows per shard for the "
+                             "out-of-core featurize path (requires "
+                             "--run-dir); results are bit-identical to "
+                             "an unsharded run")
+    parser.add_argument("--shard-sizes", type=int, nargs="*", default=None,
+                        help="shardscale: shard sizes to sweep "
+                             "(default 64)")
     parser.add_argument("--tenants", type=int, nargs="*", default=None,
                         help="multitenant: tenant counts to sweep "
                              "(default 2 6)")

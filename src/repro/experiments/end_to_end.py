@@ -248,6 +248,7 @@ def run_end_to_end(
     executor: "ExecutorConfig | None" = None,
     graph_backend: str | None = None,
     auto_repair: bool = False,
+    shard_size: int | None = None,
 ) -> EndToEndRun:
     """Run the full pipeline (featurize -> curate -> train -> evaluate)
     once on one task.
@@ -280,6 +281,13 @@ def run_end_to_end(
     first :class:`IntegrityError`.  Off by default: an unexpected
     integrity failure should stay loud unless self-healing was asked
     for.
+
+    ``shard_size`` (CLI: ``--shard-size``) routes featurization through
+    the out-of-core sharded data plane (:mod:`repro.shards`): feature
+    tables persist as content-hashed shard artifacts of that many rows,
+    computed one shard at a time.  Values and downstream results are
+    bit-identical to an unsharded run.  Requires ``run_dir`` — the
+    shards live in the run's artifact store.
     """
     import os
     from pathlib import Path
@@ -307,6 +315,15 @@ def run_end_to_end(
         config_kwargs["executor"] = executor
     if graph_backend is not None:
         config_kwargs["curation"] = CurationConfig(graph_backend=graph_backend)
+    if shard_size is not None:
+        if run_dir is None:
+            from repro.core.exceptions import ConfigurationError
+
+            raise ConfigurationError(
+                "--shard-size requires --run-dir: shard artifacts live in "
+                "the run's content-hashed store"
+            )
+        config_kwargs["shard_size"] = shard_size
     config = PipelineConfig(**config_kwargs)
     pipeline, splits = build_pipeline_for_run(task, scale, seed, config)
     result = pipeline.run(splits, checkpoint=checkpoint)

@@ -376,10 +376,12 @@ class _GraphBlockTask:
 
 def _shard_bounds(n: int, block_size: int) -> list[tuple[int, int]]:
     """Contiguous node shards; fixed by (n, block_size) so shard RNG
-    streams are identical regardless of the executor backend."""
-    return [
-        (start, min(start + block_size, n)) for start in range(0, n, block_size)
-    ]
+    streams are identical regardless of the executor backend.  Same
+    partition law as the data plane's shard layout, so the boundary
+    property suite (``tests/test_shards.py``) covers this math too."""
+    from repro.shards.layout import shard_ranges
+
+    return shard_ranges(n, block_size)
 
 
 def _edges_to_graph(

@@ -109,8 +109,22 @@ class RunCheckpointer:
         #: stage names whose artifacts were rebuilt in place (auto-repair)
         self.repaired_stages: list[str] = []
 
+    def _store_payload(self, kind: str, payload: Any) -> ArtifactRef:
+        """Persist one encoded payload: raw bytes skip the JSON envelope
+        (binary shard containers), everything else travels inside it."""
+        if isinstance(payload, (bytes, bytearray)):
+            return self.store.put_bytes(kind, bytes(payload))
+        return self.store.put_json(kind, payload)
+
+    def _read_payload(self, ref: ArtifactRef) -> Any:
+        """Inverse of :meth:`_store_payload`, dispatching on the kind's
+        suffix the same way the store picks file extensions."""
+        if ref.kind.endswith((".npy", ".pkl")):
+            return self.store.get_bytes(ref)
+        return self.store.get_json(ref)
+
     def _decode_refs(self, artifacts: dict[str, ArtifactRef]) -> dict[str, Any]:
-        return {key: self.store.get_json(ref) for key, ref in artifacts.items()}
+        return {key: self._read_payload(ref) for key, ref in artifacts.items()}
 
     def _stage_payloads(
         self,
@@ -184,7 +198,7 @@ class RunCheckpointer:
                 value = compute()
                 with obs.span("runs.stage.save", stage=name) as sp:
                     refs = {
-                        key: self.store.put_json(kind, payload)
+                        key: self._store_payload(kind, payload)
                         for key, (kind, payload) in encode(value).items()
                     }
                     sp.add_counter("artifacts_saved", len(refs))
@@ -216,7 +230,7 @@ class RunCheckpointer:
         value = compute()
         with obs.span("runs.stage.save", stage=name) as sp:
             refs = {
-                key: self.store.put_json(kind, payload)
+                key: self._store_payload(kind, payload)
                 for key, (kind, payload) in encode(value).items()
             }
             record = self.manifest.record_stage(

@@ -102,8 +102,23 @@ class RunStore:
     # raw bytes
     # ------------------------------------------------------------------
     def _path_for(self, digest: str, kind: str) -> Path:
-        suffix = ".json" if not kind.endswith(".pkl") else ".pkl"
+        if kind.endswith(".pkl"):
+            suffix = ".pkl"
+        elif kind.endswith(".npy"):
+            suffix = ".npy"
+        else:
+            suffix = ".json"
         return self.artifact_dir / f"{digest}{suffix}"
+
+    def path_for(self, ref: ArtifactRef) -> Path:
+        """On-disk path of an artifact (for memory-mapped readers).
+
+        Mapping a file bypasses the verifying :meth:`get_bytes` path, so
+        callers that need the integrity guarantee should :meth:`check`
+        the reference first (the scrub pass audits these files the same
+        as any other artifact).
+        """
+        return self._path_for(ref.hash, ref.kind)
 
     def put_bytes(self, kind: str, data: bytes) -> ArtifactRef:
         """Store raw bytes; returns the content-addressed reference.

@@ -99,10 +99,24 @@ class ServingArtifacts:
         featurize = _complete_stage(manifest, "featurize")
         train = _complete_stage(manifest, "train")
 
-        tables = {
-            name: table_from_dict(read_json(ref))
-            for name, ref in featurize.artifacts.items()
-        }
+        # sharded runs list one shard-manifest artifact per split plus
+        # its per-shard artifacts (keys like "text/shard00003"); serving
+        # wants materialized tables either way, so dispatch on kind and
+        # let the manifest handle pull its shards through the same
+        # (repairing, verifying) reader
+        from repro.shards.table import MANIFEST_KIND, ShardedTable
+
+        reader = repair if repair is not None else None
+        tables: dict[str, FeatureTable] = {}
+        for name, ref in featurize.artifacts.items():
+            if "/" in name:
+                continue  # a shard of some split, owned by its manifest
+            if ref.kind == MANIFEST_KIND:
+                tables[name] = ShardedTable(
+                    store, read_json(ref), reader=reader
+                ).to_table()
+            else:
+                tables[name] = table_from_dict(read_json(ref))
         model_ref = train.artifacts.get("model")
         if model_ref is None:
             raise CheckpointError(

@@ -1,0 +1,43 @@
+"""Shard boundary math.
+
+One function owns how ``n_rows`` rows split into contiguous shards, and
+everything sharded — table writers, corpus builders, the kNN graph
+block grid — delegates here, so the partition invariants (exact cover
+of ``[0, n)``, no overlap, no gap, stable under executor choice) are
+proven once by the property suite in ``tests/test_shards.py``.
+"""
+
+from __future__ import annotations
+
+from repro.core.exceptions import ConfigurationError
+
+__all__ = ["shard_ranges", "shard_of_row"]
+
+
+def shard_ranges(n_rows: int, shard_size: int) -> list[tuple[int, int]]:
+    """Contiguous ``(start, stop)`` half-open ranges covering ``[0, n_rows)``.
+
+    Every shard except possibly the last holds exactly ``shard_size``
+    rows; the last holds the remainder.  ``n_rows == 0`` yields no
+    shards, and ``shard_size > n_rows`` yields a single shard — an
+    oversized shard cap never pads or truncates.
+    """
+    if n_rows < 0:
+        raise ConfigurationError(f"n_rows must be >= 0, got {n_rows}")
+    if shard_size < 1:
+        raise ConfigurationError(f"shard_size must be >= 1, got {shard_size}")
+    return [
+        (start, min(start + shard_size, n_rows))
+        for start in range(0, n_rows, shard_size)
+    ]
+
+
+def shard_of_row(row: int, n_rows: int, shard_size: int) -> int:
+    """Index of the shard containing global ``row``."""
+    if not 0 <= row < n_rows:
+        raise ConfigurationError(
+            f"row {row} outside [0, {n_rows})"
+        )
+    if shard_size < 1:
+        raise ConfigurationError(f"shard_size must be >= 1, got {shard_size}")
+    return row // shard_size

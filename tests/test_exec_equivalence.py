@@ -94,6 +94,32 @@ def test_featurize_differential(
 
 
 # ----------------------------------------------------------------------
+# featurization, sharded axis: the out-of-core data plane rides the
+# same executor grid and must hash identically to the serial,
+# unsharded oracle (the full sharded differential lives in
+# test_shard_equivalence.py; this pins the backend × workers axis)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend,workers", GRID)
+def test_featurize_sharded_differential(
+    backend, workers, feat_inputs, serial_feat_table, store
+):
+    from repro.shards import featurize_corpus_sharded
+
+    corpus, resources = feat_inputs
+    sharded = featurize_corpus_sharded(
+        corpus,
+        resources,
+        store,
+        shard_size=37,
+        seed=11,
+        executor=ExecutorConfig(backend=backend, workers=workers),
+    )
+    assert _table_hash(store, sharded.to_table()) == _table_hash(
+        store, serial_feat_table
+    )
+
+
+# ----------------------------------------------------------------------
 # MapReduce
 # ----------------------------------------------------------------------
 def _histogram_mapper(record):

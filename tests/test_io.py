@@ -99,3 +99,92 @@ def test_loaded_table_is_usable(tiny_text_table, tmp_path):
     loaded = _roundtrip(table, tmp_path)
     vec = Vectorizer(table.schema).fit(table)
     assert np.allclose(vec.transform(table), vec.transform(loaded))
+
+
+# ----------------------------------------------------------------------
+# non-finite values and degenerate shapes (regression: these must
+# round-trip exactly — NaN is a legal feature value, not a missing
+# marker, and a zero-row table is a legal table)
+# ----------------------------------------------------------------------
+def _nonfinite_table(labeled=False):
+    from repro.datagen.entities import Modality
+    from repro.features.schema import FeatureKind, FeatureSchema, FeatureSpec
+    from repro.features.table import FeatureTable
+
+    schema = FeatureSchema()
+    schema.add(FeatureSpec("score", FeatureKind.NUMERIC))
+    schema.add(FeatureSpec("emb", FeatureKind.EMBEDDING))
+    columns = {
+        "score": [float("nan"), float("inf"), float("-inf"), MISSING, -0.0],
+        "emb": [
+            np.array([1.0, float("nan")]),
+            np.array([float("inf"), float("-inf")]),
+            MISSING,
+            np.array([-0.0, 1e308]),
+            np.array([0.0, 0.0]),
+        ],
+    }
+    return FeatureTable(
+        schema,
+        columns,
+        point_ids=list(range(5)),
+        modalities=[Modality.TEXT] * 5,
+        labels=np.array([1, 0, 1, 0, 1], dtype=np.int64) if labeled else None,
+    )
+
+
+def test_nonfinite_values_roundtrip_exactly(tmp_path):
+    table = _nonfinite_table()
+    loaded = _roundtrip(table, tmp_path)
+    score = loaded.column("score")
+    assert np.isnan(score[0])
+    assert score[1] == float("inf") and score[2] == float("-inf")
+    assert score[3] is MISSING  # MISSING stays distinct from NaN
+    assert score[4] == 0.0 and np.signbit(score[4])  # -0.0 keeps its sign
+    emb = loaded.column("emb")
+    assert np.isnan(emb[0][1]) and emb[0][0] == 1.0
+    assert emb[1][0] == float("inf") and emb[1][1] == float("-inf")
+    assert emb[2] is MISSING
+    assert np.signbit(emb[3][0]) and emb[3][1] == 1e308
+
+
+def test_nonfinite_roundtrip_bytes_are_stable():
+    """decode -> re-encode reproduces the exact artifact bytes, so a
+    repaired/replayed table hashes identically even with NaN/inf."""
+    from repro.runs.store import encode_envelope
+
+    table = _nonfinite_table(labeled=True)
+    doc = table_to_dict(table)
+    first = encode_envelope("feature_table", doc)
+    import json as _json
+
+    reparsed = _json.loads(first.decode("utf-8"))["data"]
+    second = encode_envelope("feature_table", table_to_dict(table_from_dict(reparsed)))
+    assert first == second
+
+
+def test_zero_row_table_roundtrips(tmp_path):
+    from repro.datagen.entities import Modality  # noqa: F401 - parity with helper
+    from repro.features.schema import FeatureKind, FeatureSchema, FeatureSpec
+    from repro.features.table import FeatureTable
+
+    schema = FeatureSchema()
+    schema.add(FeatureSpec("score", FeatureKind.NUMERIC))
+    schema.add(FeatureSpec("emb", FeatureKind.EMBEDDING))
+    empty = FeatureTable(schema, {"score": [], "emb": []}, point_ids=[], modalities=[])
+    loaded = _roundtrip(empty, tmp_path)
+    assert loaded.n_rows == 0
+    assert loaded.labels is None
+    assert loaded.schema.names == empty.schema.names
+
+    labeled = FeatureTable(
+        schema,
+        {"score": [], "emb": []},
+        point_ids=[],
+        modalities=[],
+        labels=np.array([], dtype=np.int64),
+    )
+    reloaded = _roundtrip(labeled, tmp_path)
+    assert reloaded.n_rows == 0
+    assert reloaded.labels is not None
+    assert reloaded.labels.dtype == np.int64  # empty labels keep int dtype

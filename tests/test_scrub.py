@@ -2,8 +2,11 @@
 
 import pytest
 
+from repro.core.config import CurationConfig, PipelineConfig
 from repro.core.exceptions import ConfigurationError
+from repro.core.pipeline import CrossModalPipeline
 from repro.runs import RepairEngine, RunCheckpointer, scrub_run
+from repro.shards.table import MANIFEST_KIND, ShardedTable
 
 
 def _encode(v):
@@ -106,6 +109,89 @@ def test_scrub_repair_reports_unrepairable_damage(tmp_path):
     assert entry.status == "unrepaired"
     assert "refusing to substitute different bytes" in entry.detail
     assert "UNREPAIRED" in report.verdict()
+
+
+# ----------------------------------------------------------------------
+# sharded runs: shard artifacts are ordinary lineage — scrub --repair
+# heals a damaged shard from the featurize replay recipe
+# ----------------------------------------------------------------------
+def _sharded_run(tiny_world, tiny_task, tiny_catalog, tiny_splits, run_dir):
+    config = PipelineConfig(
+        seed=7,
+        curation=CurationConfig(max_seed_nodes=600, max_dev_nodes=300),
+        shard_size=97,
+    )
+    pipeline = CrossModalPipeline(tiny_world, tiny_task, tiny_catalog, config)
+    ck = RunCheckpointer(run_dir, context={"task": "CT1"})
+    pipeline.run(tiny_splits, checkpoint=ck)
+    engine = RepairEngine(
+        ck.manifest,
+        ck.store,
+        lambda record: pipeline.recompute_stage(
+            record.name, ck.manifest, ck.store, tiny_splits
+        ),
+    )
+    return ck, engine
+
+
+def test_scrub_repair_heals_exactly_the_corrupt_shard(
+    tiny_world, tiny_task, tiny_catalog, tiny_splits, tmp_path
+):
+    ck, engine = _sharded_run(
+        tiny_world, tiny_task, tiny_catalog, tiny_splits, tmp_path
+    )
+    featurize = ck.manifest.stages["featurize"]
+    shard_keys = [k for k in featurize.artifacts if "/shard" in k]
+    assert len(shard_keys) > 3, "expected a multi-shard featurize stage"
+    victim = sorted(k for k in shard_keys if k.endswith(".dense"))[1]
+    ref = featurize.artifacts[victim]
+    ck.store._path_for(ref.hash, ref.kind).write_bytes(b"tampered shard")
+
+    audit = scrub_run(tmp_path)
+    assert {e.key: e.status for e in audit.entries if e.stage == "featurize"}[
+        victim
+    ] == "corrupt"
+
+    report = scrub_run(tmp_path, engine=engine, repair=True)
+    assert report.healthy
+    assert report.repaired == 1
+    repaired = [e for e in report.entries if e.status == "repaired"]
+    assert [(e.stage, e.key) for e in repaired] == [("featurize", victim)]
+    # the healed bytes hash back to the recorded ref
+    assert ck.store.check(ref) == "healthy"
+
+
+def test_scrub_repaired_shard_manifest_round_trips(
+    tiny_world, tiny_task, tiny_catalog, tiny_splits, tmp_path
+):
+    """After repair, the shard manifest still Merkle-pins the healed
+    shards: every ref it lists is healthy and the manifest re-encodes
+    to its recorded content hash."""
+    ck, engine = _sharded_run(
+        tiny_world, tiny_task, tiny_catalog, tiny_splits, tmp_path
+    )
+    featurize = ck.manifest.stages["featurize"]
+    manifest_ref = featurize.artifacts["text"]
+    assert manifest_ref.kind == MANIFEST_KIND
+    victim = next(
+        k for k in featurize.artifacts if k.startswith("text/shard")
+    )
+    ref = featurize.artifacts[victim]
+    ck.store._path_for(ref.hash, ref.kind).unlink()
+
+    report = scrub_run(tmp_path, engine=engine, repair=True)
+    assert report.healthy
+
+    doc = ck.store.get_json(manifest_ref)
+    assert ck.store.put_json(MANIFEST_KIND, doc).hash == manifest_ref.hash
+    table = ShardedTable(ck.store, doc)
+    assert all(
+        ck.store.check(r) == "healthy"
+        for i in range(table.n_shards)
+        for r in table.shard_refs(i)
+        if r is not None
+    )
+    assert table.to_table().n_rows == doc["n_rows"]
 
 
 def test_scrub_report_render_and_dict(tmp_path):
